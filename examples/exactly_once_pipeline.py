@@ -1,0 +1,83 @@
+"""Exactly-once delivery through failures (§3.2, §4.4).
+
+A payment event pipeline must never duplicate or drop events, even when
+a segment store crashes mid-stream.  This example:
+
+  1. writes numbered events while a segment store is crashed and its
+     containers fail over to the survivors (WAL fencing + recovery);
+  2. shows the writer's reconnect handshake resuming from the last
+     persisted event number (segment attributes);
+  3. reads everything back and verifies each event appears exactly once,
+     in per-key order.
+
+Run with:  python examples/exactly_once_pipeline.py
+"""
+
+from repro.pravega import PravegaCluster, PravegaClusterConfig
+from repro.sim import Simulator
+
+EVENTS = 200
+
+
+def main() -> None:
+    sim = Simulator()
+    cluster = PravegaCluster.build(sim, PravegaClusterConfig(lts_kind="efs"))
+    sim.run_until_complete(cluster.start())
+    controller = cluster.controller_client("payments")
+    sim.run_until_complete(controller.create_scope("bank"))
+    sim.run_until_complete(controller.create_stream("bank", "payments"))
+
+    writer = cluster.create_writer("payments", "bank", "payments")
+
+    def produce():
+        for i in range(EVENTS):
+            writer.write_event(
+                f"payment:{i:05d}".encode(), routing_key=f"account-{i % 3}"
+            )
+            yield sim.timeout(0.002)
+
+    producer = sim.process(produce())
+
+    # Crash the store owning the stream segment mid-run.
+    victim = cluster.store_cluster.store_for_segment("bank/payments/0").name
+
+    def chaos():
+        yield sim.timeout(0.1)
+        print(f"[{sim.now:5.2f} s] CRASH: segment store {victim} fails "
+              f"(its containers fence + recover on the survivors)")
+        yield cluster.store_cluster.fail_store(victim)
+        new_owner = cluster.store_cluster.store_for_segment("bank/payments/0").name
+        print(f"[{sim.now:5.2f} s] segment now served by {new_owner}")
+
+    sim.process(chaos())
+    sim.run_until_complete(producer, timeout=120)
+    sim.run_until_complete(writer.flush(), timeout=120)
+    print(f"[{sim.now:5.2f} s] writer finished: {writer.events_written} events "
+          f"acknowledged (writer id {writer.writer_id!r} deduped on reconnect)")
+
+    # Verify exactly-once + order.
+    group = sim.run_until_complete(
+        cluster.create_reader_group("audit", "audit", "bank", "payments")
+    )
+    reader = cluster.create_reader("audit", "auditor", group)
+    sim.run_until_complete(reader.join())
+    events = []
+    while len(events) < EVENTS:
+        batch = sim.run_until_complete(reader.read_next(), timeout=120)
+        events.extend(e.decode() for e in batch.events)
+
+    numbers = sorted(int(e.split(":")[1]) for e in events)
+    assert numbers == list(range(EVENTS)), "lost or duplicated events!"
+    print(f"[{sim.now:5.2f} s] audit: {len(events)} events, "
+          f"{len(set(events))} distinct — exactly once, despite the crash")
+
+    by_key = {}
+    for event in events:
+        n = int(event.split(":")[1])
+        by_key.setdefault(n % 3, []).append(n)
+    assert all(v == sorted(v) for v in by_key.values())
+    print("          per-account ordering verified")
+
+
+if __name__ == "__main__":
+    main()

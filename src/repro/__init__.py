@@ -1,0 +1,15 @@
+"""repro — a reproduction of "Pravega: A Tiered Storage System for Data
+Streams" (Middleware '23).
+
+The package implements Pravega's full design — controller, segment stores,
+segment containers (durable log, block cache, read index, storage writer),
+event writers/readers with reader groups and stream auto-scaling — plus the
+substrates it depends on (a Zookeeper-like coordination service, a
+Bookkeeper-like replicated WAL, long-term storage backends) and the two
+baseline systems of the paper's evaluation (Kafka-like and Pulsar-like
+messaging systems).  Everything runs on a deterministic discrete-event
+simulation of the paper's AWS testbed; see DESIGN.md for the substitution
+rationale.
+"""
+
+__version__ = "1.0.0"

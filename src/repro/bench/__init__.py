@@ -1,0 +1,31 @@
+"""Benchmark harness: OMB-like workloads, system adapters, sweeps,
+result tables (reproduces every figure of the paper's §5)."""
+
+from repro.bench.adapters import KafkaAdapter, PravegaAdapter, PulsarAdapter
+from repro.bench.keys import modulo_key_table, range_key_table
+from repro.bench.results import (
+    BenchResult,
+    Table,
+    fmt_bytes_rate,
+    fmt_latency,
+    fmt_rate,
+)
+from repro.bench.runner import WorkloadSpec, run_workload
+from repro.bench.sweeps import find_max_throughput, sweep_rates
+
+__all__ = [
+    "PravegaAdapter",
+    "KafkaAdapter",
+    "PulsarAdapter",
+    "WorkloadSpec",
+    "run_workload",
+    "sweep_rates",
+    "find_max_throughput",
+    "BenchResult",
+    "Table",
+    "fmt_rate",
+    "fmt_bytes_rate",
+    "fmt_latency",
+    "modulo_key_table",
+    "range_key_table",
+]

@@ -1,0 +1,63 @@
+"""Routing-key tables for the workloads.
+
+The paper's workloads use random routing keys (§5.1).  To drive each
+system at a controlled per-partition rate, the load generator needs, for
+every partition/segment index, a key that routes to it under the
+system's own hash:
+
+* Kafka/Pulsar: ``stable_hash64(key) % partitions``
+* Pravega: ``routing_key_position(key)`` falling in the segment's range
+  (initial segments split [0,1) evenly, so bucket = floor(pos * n)).
+
+Key tables are found by rejection sampling over a deterministic key
+stream, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.hashing import routing_key_position, stable_hash64
+
+__all__ = ["modulo_key_table", "range_key_table"]
+
+_CACHE_MODULO: Dict[int, List[str]] = {}
+_CACHE_RANGE: Dict[int, List[str]] = {}
+
+
+def modulo_key_table(partitions: int) -> List[str]:
+    """keys[p] routes to partition p under hash % partitions."""
+    cached = _CACHE_MODULO.get(partitions)
+    if cached is not None:
+        return cached
+    keys: List[str] = [None] * partitions  # type: ignore[list-item]
+    found = 0
+    i = 0
+    while found < partitions:
+        key = f"key-{i}"
+        i += 1
+        p = stable_hash64(key) % partitions
+        if keys[p] is None:
+            keys[p] = key
+            found += 1
+    _CACHE_MODULO[partitions] = keys
+    return keys
+
+
+def range_key_table(segments: int) -> List[str]:
+    """keys[s] routes to initial segment s (equal ranges over [0, 1))."""
+    cached = _CACHE_RANGE.get(segments)
+    if cached is not None:
+        return cached
+    keys: List[str] = [None] * segments  # type: ignore[list-item]
+    found = 0
+    i = 0
+    while found < segments:
+        key = f"key-{i}"
+        i += 1
+        bucket = min(int(routing_key_position(key) * segments), segments - 1)
+        if keys[bucket] is None:
+            keys[bucket] = key
+            found += 1
+    _CACHE_RANGE[segments] = keys
+    return keys

@@ -1,0 +1,244 @@
+"""The workload driver (OpenMessaging-Benchmark-like, §5.1).
+
+Open-loop producers generate events at a target rate, spread over the
+topic's partitions according to the key mode ("random" routing keys by
+default, as in the paper; "none" disables keys).  Consumers read
+concurrently; end-to-end latency is matched through per-partition FIFO
+trackers of send timestamps.  Events are generated in per-tick groups
+(each group travels the real client/batching/replication path) so
+million-events-per-second workloads stay tractable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.sim.core import Interrupt, SimFuture, Simulator
+from repro.bench.results import BenchResult
+
+__all__ = ["WorkloadSpec", "run_workload"]
+
+GLOBAL_TRACKER = -1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark configuration (the OMB workload grammar)."""
+
+    event_size: int = 100
+    #: offered load in events/second across all producers
+    target_rate: float = 10_000.0
+    partitions: int = 1
+    producers: int = 1
+    consumers: int = 0
+    #: "random" = random routing keys (paper default); "none" = no keys
+    key_mode: str = "random"
+    #: measured interval (after warmup)
+    duration: float = 5.0
+    warmup: float = 1.0
+    #: load-generation granularity
+    tick: float = 0.005
+    #: benchmark-driver host count (Table 1: 2; §5.6 uses 10)
+    bench_hosts: int = 2
+    #: consumers keep draining after producers stop until they catch up
+    drain: bool = False
+    #: cap on drain time (simulated seconds)
+    drain_timeout: float = 300.0
+
+
+@dataclass
+class _Counters:
+    sent_events: int = 0
+    produced_events: int = 0
+    produced_window: int = 0
+    consumed_events: int = 0
+    consumed_window: int = 0
+    consumed_bytes_window: int = 0
+    errors: int = 0
+
+
+def run_workload(
+    sim: Simulator,
+    adapter,
+    spec: WorkloadSpec,
+    probe: Optional[Callable[[float, BenchResult], None]] = None,
+    probe_interval: float = 1.0,
+) -> BenchResult:
+    """Run one workload to completion and return its measurements."""
+    result = BenchResult(
+        label=f"{adapter.name} p={spec.partitions} w={spec.producers}",
+        target_rate=spec.target_rate,
+    )
+    counters = _Counters()
+    adapter.setup(spec.partitions)
+    if hasattr(adapter, "total_consumers"):
+        adapter.total_consumers = max(spec.consumers, 1)
+
+    window_start = sim.now + spec.warmup
+    window_end = sim.now + spec.warmup + spec.duration
+    load_end = window_end
+    ack_grace = 0.25
+    #: per-partition FIFO of (event count, send time)
+    trackers: Dict[int, Deque[Tuple[int, float]]] = {}
+    producers_done = sim.future()
+    producers_running = [spec.producers]
+
+    # ------------------------------------------------------------------
+    # Producers
+    # ------------------------------------------------------------------
+    def producer_process(index: int):
+        handle = adapter.new_producer(f"bench-{index % spec.bench_hosts}")
+        rate = spec.target_rate / spec.producers
+        carry = 0.0
+        rotate = index
+        while sim.now < load_end:
+            yield sim.timeout(spec.tick)
+            # Open-loop generation, bounded: once the system is hopelessly
+            # behind (several seconds of unacked events), stop piling more
+            # into client queues — the run is already saturated, and this
+            # keeps overload runs tractable.
+            backlog = counters.sent_events - counters.produced_events
+            if backlog > spec.target_rate * 2.0 + 10_000:
+                continue
+            carry += rate * spec.tick
+            count = int(carry)
+            if count <= 0:
+                continue
+            carry -= count
+            counters.sent_events += count
+            now = sim.now
+            in_window = window_start <= now < window_end
+            if spec.key_mode == "none":
+                fut = handle.send_group(None, count, spec.event_size)
+                fut.add_callback(
+                    lambda f, n=count, t=now, w=in_window: _ack(f, n, t, w)
+                )
+                trackers.setdefault(GLOBAL_TRACKER, deque()).append((count, now))
+            else:
+                # Random keys: spread the group across partitions.
+                shares = _spread(count, spec.partitions, rotate)
+                rotate += 1
+                for partition, share in shares:
+                    fut = handle.send_group(partition, share, spec.event_size)
+                    fut.add_callback(
+                        lambda f, n=share, t=now, w=in_window: _ack(f, n, t, w)
+                    )
+                    trackers.setdefault(partition, deque()).append((share, now))
+        yield handle.flush()
+        producers_running[0] -= 1
+        if producers_running[0] == 0 and not producers_done.done:
+            producers_done.set_result(None)
+
+    def _ack(fut: SimFuture, n: int, send_time: float, in_window: bool) -> None:
+        if fut.exception is not None:
+            counters.errors += 1
+            return
+        counters.produced_events += n
+        # An ack counts toward the measured rate only if the *ack* also
+        # lands near the window: a system whose latency has run away is
+        # not sustaining the offered rate.
+        if in_window and sim.now <= window_end + ack_grace:
+            counters.produced_window += n
+            result.write_latency.record(sim.now - send_time)
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    def consumer_process(index: int):
+        handle = adapter.new_consumer(
+            f"bench-{index % spec.bench_hosts}", index, spec.event_size
+        )
+        tracker_key = GLOBAL_TRACKER if spec.key_mode == "none" else None
+        while True:
+            try:
+                partition, count, nbytes = yield handle.receive()
+            except Interrupt:
+                return
+            except Exception:  # noqa: BLE001 - crashed broker etc.
+                counters.errors += 1
+                return
+            now = sim.now
+            counters.consumed_events += count
+            if window_start <= now < window_end + spec.warmup:
+                counters.consumed_window += count
+                counters.consumed_bytes_window += nbytes
+            queue = trackers.get(
+                partition if tracker_key is None else tracker_key
+            )
+            remaining = count
+            while queue and remaining > 0:
+                group_count, send_time = queue[0]
+                take = min(group_count, remaining)
+                remaining -= take
+                if group_count <= take:
+                    queue.popleft()
+                    result.e2e_latency.record(now - send_time)
+                else:
+                    queue[0] = (group_count - take, send_time)
+                    result.e2e_latency.record(now - send_time)
+                    break
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def probe_process():
+        while sim.now < window_end:
+            yield sim.timeout(probe_interval)
+            if probe is not None:
+                probe(sim.now, result)
+
+    # ------------------------------------------------------------------
+    for i in range(spec.producers):
+        sim.process(producer_process(i))
+    consumer_procs = []
+    for i in range(spec.consumers):
+        consumer_procs.append(sim.process(consumer_process(i)))
+    if probe is not None:
+        sim.process(probe_process())
+
+    sim.run_until_complete(producers_done, timeout=spec.warmup + spec.duration * 20 + 600)
+    if spec.drain and spec.consumers:
+        deadline = sim.now + spec.drain_timeout
+        while counters.consumed_events < counters.produced_events:
+            if sim.now >= deadline:
+                break
+            sim.run(until=sim.now + 0.25)
+    elif spec.consumers:
+        # Give tail reads a moment to drain in-flight events.
+        sim.run(until=sim.now + 0.5)
+    for proc in consumer_procs:
+        proc.interrupt()
+    sim.run(until=sim.now + 0.1)
+
+    # ------------------------------------------------------------------
+    window = spec.duration
+    result.produce_rate = counters.produced_window / window
+    result.produce_mbps = result.produce_rate * spec.event_size
+    result.consume_rate = counters.consumed_window / window
+    result.consume_mbps = result.consume_rate * spec.event_size
+    result.errors = counters.errors
+    result.crashed = bool(getattr(adapter, "crashed", False))
+    result.extra["produced_total"] = float(counters.produced_events)
+    result.extra["consumed_total"] = float(counters.consumed_events)
+    return result
+
+
+def _spread(count: int, partitions: int, rotate: int) -> List[Tuple[int, int]]:
+    """Distribute ``count`` events over partitions (random-key model).
+
+    Each partition gets count/partitions events; the remainder rotates so
+    low-rate workloads still touch all partitions over time.
+    """
+    if partitions == 1:
+        return [(0, count)]
+    base, remainder = divmod(count, partitions)
+    shares = []
+    for offset in range(partitions):
+        partition = (rotate + offset) % partitions
+        share = base + (1 if offset < remainder else 0)
+        if share > 0:
+            shares.append((partition, share))
+    return shares

@@ -1,0 +1,22 @@
+"""Bookkeeper-like replicated write-ahead log (Pravega's WAL tier, §2.2)."""
+
+from repro.bookkeeper.bookie import ENTRY_OVERHEAD, Bookie
+from repro.bookkeeper.client import BookKeeperClient, BookKeeperCluster, LedgerHandle
+from repro.bookkeeper.ledger import (
+    Entry,
+    LedgerManager,
+    LedgerMetadata,
+    LedgerState,
+)
+
+__all__ = [
+    "Bookie",
+    "ENTRY_OVERHEAD",
+    "BookKeeperCluster",
+    "BookKeeperClient",
+    "LedgerHandle",
+    "Entry",
+    "LedgerMetadata",
+    "LedgerManager",
+    "LedgerState",
+]

@@ -1,0 +1,282 @@
+"""Bookkeeper client: ledger handles with quorum replication.
+
+Implements the write/ack-quorum protocol the paper's deployments use
+(Table 1: ensemble=3, writeQuorum=3, ackQuorum=2): each entry is sent to
+its write set; the append is acknowledged once ``ack_quorum`` bookies
+have journaled it.  Appends complete in entry order (the LAC — last add
+confirmed — advances contiguously), and ledger recovery fences the
+ensemble before reading, guaranteeing exclusive access for a new owner
+(§4.4, ref [8]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import (
+    BookkeeperError,
+    LedgerClosedError,
+    LedgerFencedError,
+    NotEnoughBookiesError,
+)
+from repro.common.payload import Payload
+from repro.sim.core import SimFuture, Simulator
+from repro.sim.network import Network
+from repro.bookkeeper.bookie import Bookie, ENTRY_OVERHEAD
+from repro.bookkeeper.ledger import Entry, LedgerManager, LedgerMetadata, LedgerState
+
+__all__ = ["BookKeeperCluster", "BookKeeperClient", "LedgerHandle"]
+
+
+class BookKeeperCluster:
+    """The set of bookies plus the shared ledger manager."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.bookies: Dict[str, Bookie] = {}
+        self.ledger_manager = LedgerManager()
+
+    def add_bookie(self, bookie: Bookie) -> None:
+        self.bookies[bookie.name] = bookie
+
+    def bookie(self, name: str) -> Bookie:
+        return self.bookies[name]
+
+    def client(self, client_host: str) -> "BookKeeperClient":
+        return BookKeeperClient(self, client_host)
+
+
+class BookKeeperClient:
+    """A client bound to one host; all bookie RPCs pay network costs."""
+
+    def __init__(self, cluster: BookKeeperCluster, client_host: str) -> None:
+        self.cluster = cluster
+        self.client_host = client_host
+
+    @property
+    def sim(self) -> Simulator:
+        return self.cluster.sim
+
+    # ------------------------------------------------------------------
+    def create_ledger(
+        self,
+        ensemble_size: int = 3,
+        write_quorum: int = 3,
+        ack_quorum: int = 2,
+        preferred_bookies: Optional[List[str]] = None,
+    ) -> "LedgerHandle":
+        """Create a new open ledger and return its write handle."""
+        available = preferred_bookies or sorted(self.cluster.bookies)
+        candidates = [b for b in available if self.cluster.bookies[b].alive]
+        if len(candidates) < ensemble_size:
+            raise NotEnoughBookiesError(
+                f"need {ensemble_size} bookies, {len(candidates)} alive"
+            )
+        ledger_id = self.cluster.ledger_manager.allocate_id()
+        # Spread ensembles deterministically across the cluster.
+        start = ledger_id % len(candidates)
+        ensemble = [candidates[(start + i) % len(candidates)] for i in range(ensemble_size)]
+        metadata = LedgerMetadata(ledger_id, ensemble, write_quorum, ack_quorum)
+        self.cluster.ledger_manager.register(metadata)
+        return LedgerHandle(self, metadata, writable=True)
+
+    def open_ledger_no_recovery(self, ledger_id: int) -> "LedgerHandle":
+        """Open for reading without fencing (tail reading by the owner)."""
+        metadata = self.cluster.ledger_manager.get(ledger_id)
+        return LedgerHandle(self, metadata, writable=False)
+
+    def open_ledger_with_recovery(self, ledger_id: int) -> SimFuture:
+        """Fence the ensemble, recover the last entry, close the ledger.
+
+        Resolves with a read-only :class:`LedgerHandle`.  After this, the
+        previous writer's appends are rejected by the fenced bookies —
+        the exclusive-ownership guarantee of §4.4.
+        """
+        metadata = self.cluster.ledger_manager.get(ledger_id)
+
+        def recovery():
+            responses: List[int] = []
+            pending = []
+            for name in metadata.ensemble:
+                bookie = self.cluster.bookies[name]
+                rpc = self.cluster.network.transfer(self.client_host, name, 64)
+                pending.append((bookie, rpc))
+            for bookie, rpc in pending:
+                yield rpc
+                if bookie.alive:
+                    responses.append(bookie.fence(ledger_id))
+            needed = len(metadata.ensemble) - metadata.ack_quorum + 1
+            if len(responses) < needed:
+                raise BookkeeperError(
+                    f"recovery of ledger {ledger_id}: only {len(responses)} "
+                    f"fence responses, need {needed}"
+                )
+            if metadata.state is not LedgerState.CLOSED:
+                metadata.last_entry_id = max(responses) if responses else -1
+                metadata.state = LedgerState.CLOSED
+            return LedgerHandle(self, metadata, writable=False)
+
+        return self.sim.process(recovery())
+
+    def delete_ledger(self, ledger_id: int) -> SimFuture:
+        """Remove the ledger everywhere (used by WAL truncation, §4.3)."""
+        metadata = self.cluster.ledger_manager.get(ledger_id)
+
+        def deletion():
+            for name in metadata.ensemble:
+                yield self.cluster.network.transfer(self.client_host, name, 64)
+                self.cluster.bookies[name].delete_ledger(ledger_id)
+            self.cluster.ledger_manager.remove(ledger_id)
+
+        return self.sim.process(deletion())
+
+
+class LedgerHandle:
+    """Write/read handle for one ledger."""
+
+    def __init__(
+        self, client: BookKeeperClient, metadata: LedgerMetadata, writable: bool
+    ) -> None:
+        self.client = client
+        self.metadata = metadata
+        self.writable = writable and metadata.state is LedgerState.OPEN
+        self._next_entry_id = 0
+        self._acked: Dict[int, SimFuture] = {}
+        self._confirmed: set[int] = set()
+        self._last_add_confirmed = -1
+        self._failed = False
+
+    @property
+    def ledger_id(self) -> int:
+        return self.metadata.ledger_id
+
+    @property
+    def last_add_confirmed(self) -> int:
+        return self._last_add_confirmed
+
+    @property
+    def sim(self) -> Simulator:
+        return self.client.sim
+
+    # ------------------------------------------------------------------
+    def append(self, payload: Payload, record: object = None) -> SimFuture:
+        """Replicated append; resolves with the entry id once ack_quorum
+        bookies have made it durable *and* all earlier entries completed.
+
+        ``record`` is the structured content of the entry (see
+        :class:`Entry`); readers get it back on recovery replay.
+        """
+        fut = self.sim.future()
+        if not self.writable or self.metadata.state is not LedgerState.OPEN:
+            fut.set_exception(LedgerClosedError(f"ledger {self.ledger_id}"))
+            return fut
+        if self._failed:
+            fut.set_exception(LedgerFencedError(f"ledger {self.ledger_id}"))
+            return fut
+        entry_id = self._next_entry_id
+        self._next_entry_id += 1
+        entry = Entry(self.ledger_id, entry_id, payload, record)
+        self._acked[entry_id] = fut
+        self.sim.process(self._replicate(entry))
+        return fut
+
+    def _replicate(self, entry: Entry):
+        cluster = self.client.cluster
+        network = cluster.network
+        write_set = self.metadata.write_set(entry.entry_id)
+        wire_size = entry.payload.size + ENTRY_OVERHEAD
+        acks = self.sim.future()
+        state = {"acked": 0, "failed": 0, "fenced": False}
+        quorum = self.metadata.ack_quorum
+        replicas = len(write_set)
+
+        def on_store_done(store: SimFuture) -> None:
+            if store.exception is None:
+                state["acked"] += 1
+            else:
+                state["failed"] += 1
+                if isinstance(store.exception, LedgerFencedError):
+                    state["fenced"] = True
+            if acks.done:
+                return
+            if state["acked"] >= quorum:
+                acks.set_result(None)
+            elif state["failed"] > replicas - quorum:
+                if state["fenced"]:
+                    acks.set_exception(LedgerFencedError(f"ledger {self.ledger_id}"))
+                else:
+                    acks.set_exception(
+                        BookkeeperError(
+                            f"entry {entry.entry_id}: quorum unreachable"
+                        )
+                    )
+
+        for name in write_set:
+            bookie = cluster.bookies[name]
+            rpc = network.transfer(self.client.client_host, name, wire_size)
+
+            def send(_: SimFuture, bookie: Bookie = bookie) -> None:
+                bookie.add_entry(entry).add_callback(on_store_done)
+
+            rpc.add_callback(send)
+
+        try:
+            yield acks
+        except Exception as exc:  # noqa: BLE001 - fail the handle
+            self._failed = True
+            pending = self._acked.pop(entry.entry_id, None)
+            if pending is not None and not pending.done:
+                pending.set_exception(exc)
+            return
+        self._confirmed.add(entry.entry_id)
+        self._advance_lac()
+
+    def _advance_lac(self) -> None:
+        while (self._last_add_confirmed + 1) in self._confirmed:
+            self._last_add_confirmed += 1
+            entry_id = self._last_add_confirmed
+            fut = self._acked.pop(entry_id, None)
+            if fut is not None and not fut.done:
+                fut.set_result(entry_id)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the ledger at the current LAC."""
+        if self.metadata.state is LedgerState.OPEN:
+            self.metadata.last_entry_id = self._last_add_confirmed
+            self.metadata.state = LedgerState.CLOSED
+        self.writable = False
+
+    def read(self, first_entry: int, last_entry: int) -> SimFuture:
+        """Read entries [first, last] from the ensemble.
+
+        Resolves with a list of :class:`Entry`.  Used by segment-container
+        recovery to replay the WAL (§4.4).
+        """
+        metadata = self.metadata
+
+        def reading():
+            cluster = self.client.cluster
+            entries: List[Entry] = []
+            total = 0
+            for entry_id in range(first_entry, last_entry + 1):
+                entry = None
+                for name in metadata.write_set(entry_id):
+                    bookie = cluster.bookies[name]
+                    if bookie.alive and bookie.has_entry(metadata.ledger_id, entry_id):
+                        entry = bookie.read_entry(metadata.ledger_id, entry_id)
+                        total += entry.payload.size + ENTRY_OVERHEAD
+                        break
+                if entry is None:
+                    raise BookkeeperError(
+                        f"entry {entry_id} of ledger {metadata.ledger_id} unreadable"
+                    )
+                entries.append(entry)
+            # One bulk transfer approximates the streaming read.
+            yield cluster.network.transfer(
+                metadata.ensemble[0], self.client.client_host, total
+            )
+            return entries
+
+        return self.sim.process(reading())

@@ -1,0 +1,30 @@
+"""Shared utilities: hashing, key-space algebra, AVL tree, metrics, errors."""
+
+from repro.common.avl import AvlTree
+from repro.common.hashing import assign_to_bucket, routing_key_position, stable_hash64
+from repro.common.keyspace import KeyRange, is_partition, merge_ranges, split_range
+from repro.common.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    RateMeter,
+    TimeSeries,
+    percentile,
+)
+
+__all__ = [
+    "AvlTree",
+    "stable_hash64",
+    "routing_key_position",
+    "assign_to_bucket",
+    "KeyRange",
+    "split_range",
+    "merge_ranges",
+    "is_partition",
+    "Counter",
+    "RateMeter",
+    "LatencyHistogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "percentile",
+]

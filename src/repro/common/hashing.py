@@ -1,0 +1,41 @@
+"""Stable hashing utilities.
+
+Pravega maps routing keys to positions in the key space [0, 1) and maps
+segments to segment containers with a stateless uniform hash (§2.2, §5.8).
+Python's built-in ``hash`` is salted per process, so we use BLAKE2b for a
+hash that is stable across runs — experiments must be reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["stable_hash64", "routing_key_position", "assign_to_bucket"]
+
+_MAX_U64 = 2**64
+
+
+def stable_hash64(value: str | bytes) -> int:
+    """A deterministic 64-bit hash of ``value`` (uniform over [0, 2^64))."""
+    if isinstance(value, str):
+        value = value.encode("utf-8")
+    digest = hashlib.blake2b(value, digest_size=8).digest()
+    return struct.unpack(">Q", digest)[0]
+
+
+def routing_key_position(routing_key: str) -> float:
+    """Map a routing key to its position h(k) in [0, 1) (§2.1)."""
+    return stable_hash64(routing_key) / _MAX_U64
+
+
+def assign_to_bucket(key: str | bytes, num_buckets: int) -> int:
+    """Stateless uniform assignment of ``key`` to one of ``num_buckets``.
+
+    Used to map segments to segment containers: the mapping is a pure
+    function of the segment id and the (fixed) container count, so every
+    component of the system can compute it without coordination (§2.2).
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    return stable_hash64(key) % num_buckets

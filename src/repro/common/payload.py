@@ -1,0 +1,76 @@
+"""Payload: bytes that may be real or synthetic.
+
+Correctness tests exercise the data path with real byte content and verify
+exact round trips.  Benchmarks move tens of gigabytes of simulated data;
+allocating those bytes for real would be pointless, so a payload may carry
+only its *size*.  Every component of the storage path (WAL frames, cache
+blocks, LTS chunks, read responses) operates on :class:`Payload` and
+therefore works identically in both modes; sizes always add up exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Payload"]
+
+
+@dataclass(frozen=True)
+class Payload:
+    """An immutable run of bytes, possibly content-free (synthetic)."""
+
+    size: int
+    content: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative payload size: {self.size}")
+        if self.content is not None and len(self.content) != self.size:
+            raise ValueError(
+                f"content length {len(self.content)} != declared size {self.size}"
+            )
+
+    @classmethod
+    def of(cls, data: bytes) -> "Payload":
+        """A payload with real content."""
+        return cls(len(data), bytes(data))
+
+    @classmethod
+    def synthetic(cls, size: int) -> "Payload":
+        """A content-free payload of ``size`` bytes."""
+        return cls(size, None)
+
+    @classmethod
+    def empty(cls) -> "Payload":
+        return cls(0, b"")
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.content is None and self.size > 0
+
+    def slice(self, start: int, end: int) -> "Payload":
+        """The sub-payload [start, end) — content-preserving when possible."""
+        if not (0 <= start <= end <= self.size):
+            raise ValueError(f"bad slice [{start}, {end}) of {self.size} bytes")
+        if self.content is not None:
+            return Payload(end - start, self.content[start:end])
+        return Payload.synthetic(end - start)
+
+    @classmethod
+    def concat(cls, parts: Sequence["Payload"]) -> "Payload":
+        """Concatenate payloads; the result is synthetic if any part is."""
+        total = sum(p.size for p in parts)
+        if total == 0:
+            return cls.empty()
+        if all(p.content is not None for p in parts):
+            return cls(total, b"".join(p.content for p in parts))  # type: ignore[misc]
+        return cls.synthetic(total)
+
+    def __add__(self, other: "Payload") -> "Payload":
+        return Payload.concat([self, other])
+
+    def require_content(self) -> bytes:
+        if self.content is None:
+            raise ValueError("payload is synthetic (size-only)")
+        return self.content

@@ -1,0 +1,21 @@
+"""Kafka-like baseline (§5.1, Table 1): brokers with per-partition log
+files, leader-follower replication, page-cache default durability, and a
+linger/batch-size producer."""
+
+from repro.kafka.broker import KafkaBroker, KafkaCluster, TopicPartition
+from repro.kafka.consumer import ConsumedBatch, KafkaConsumer, KafkaConsumerGroup
+from repro.kafka.log import LogRecordBatch, PartitionLog
+from repro.kafka.producer import KafkaProducer, KafkaProducerConfig
+
+__all__ = [
+    "KafkaCluster",
+    "KafkaBroker",
+    "TopicPartition",
+    "PartitionLog",
+    "LogRecordBatch",
+    "KafkaProducer",
+    "KafkaProducerConfig",
+    "KafkaConsumer",
+    "KafkaConsumerGroup",
+    "ConsumedBatch",
+]

@@ -1,0 +1,281 @@
+"""Kafka brokers: leader-follower replication, produce/fetch RPCs.
+
+Replication matches the paper's configuration (Table 1): 3 replicas,
+``acks=all`` with ``min.insync.replicas=2`` — a produce is acknowledged
+once the leader and at least one follower have the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import KafkaError, NotEnoughReplicasError
+from repro.common.payload import Payload
+from repro.sim.core import SimFuture, Simulator
+from repro.sim.disk import Disk, DiskSpec, PageCache
+from repro.sim.network import Network
+from repro.kafka.log import BATCH_OVERHEAD, LogRecordBatch, PartitionLog
+
+__all__ = ["KafkaBroker", "KafkaCluster", "TopicPartition"]
+
+RPC_OVERHEAD = 64
+
+
+@dataclass(frozen=True)
+class TopicPartition:
+    topic: str
+    partition: int
+
+    @property
+    def log_name(self) -> str:
+        return f"{self.topic}-{self.partition}"
+
+
+class KafkaBroker:
+    """One broker: a drive, a page cache, and hosted partition replicas."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network: Network,
+        disk_spec: Optional[DiskSpec] = None,
+        flush_every_message: bool = False,
+        request_processing_time: float = 30e-6,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.network = network
+        self.disk = Disk(sim, disk_spec or DiskSpec())
+        self.page_cache = PageCache(sim, self.disk)
+        self.flush_every_message = flush_every_message
+        self.request_processing_time = request_processing_time
+        self.logs: Dict[TopicPartition, PartitionLog] = {}
+        self.alive = True
+        #: tail-fetch waiters per partition
+        self._fetch_waiters: Dict[TopicPartition, List[Tuple[int, SimFuture]]] = {}
+
+    def host_replica(self, tp: TopicPartition) -> PartitionLog:
+        log = PartitionLog(
+            self.sim,
+            tp.log_name,
+            self.disk,
+            self.page_cache,
+            flush_every_message=self.flush_every_message,
+        )
+        self.logs[tp] = log
+        return log
+
+    def append_local(
+        self, tp: TopicPartition, payload: Payload, record_count: int,
+        producer_id: str = "", sequence: int = -1
+    ) -> SimFuture:
+        if not self.alive:
+            fut = self.sim.future()
+            fut.set_exception(KafkaError(f"broker {self.name} is down"))
+            return fut
+        log = self.logs[tp]
+        result = log.append(payload, record_count, producer_id, sequence)
+
+        def wake(_: SimFuture) -> None:
+            self._wake_fetchers(tp)
+
+        result.add_callback(wake)
+        return result
+
+    def _wake_fetchers(self, tp: TopicPartition) -> None:
+        waiters = self._fetch_waiters.get(tp)
+        if not waiters:
+            return
+        log = self.logs[tp]
+        remaining = []
+        for offset, fut in waiters:
+            if offset < log.leo:
+                if not fut.done:
+                    fut.set_result(None)
+            else:
+                remaining.append((offset, fut))
+        self._fetch_waiters[tp] = remaining
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def wait_for_data(self, tp: TopicPartition, offset: int) -> SimFuture:
+        fut = self.sim.future()
+        log = self.logs.get(tp)
+        if log is not None and offset < log.leo:
+            fut.set_result(None)
+        else:
+            self._fetch_waiters.setdefault(tp, []).append((offset, fut))
+        return fut
+
+
+class KafkaCluster:
+    """Topic/partition metadata plus the produce/fetch protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        replication_factor: int = 3,
+        min_insync_replicas: int = 2,
+        replication_poll_delay: float = 0.3e-3,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.replication_factor = replication_factor
+        self.min_insync_replicas = min_insync_replicas
+        #: followers replicate by *fetching* from the leader; this models
+        #: the extra fetch-round latency vs a push design like Bookkeeper's
+        self.replication_poll_delay = replication_poll_delay
+        self.brokers: Dict[str, KafkaBroker] = {}
+        #: partition -> [leader, follower, ...]
+        self.assignments: Dict[TopicPartition, List[str]] = {}
+        self.topics: Dict[str, int] = {}
+
+    def add_broker(self, broker: KafkaBroker) -> None:
+        self.brokers[broker.name] = broker
+
+    def create_topic(self, topic: str, partitions: int) -> None:
+        names = sorted(self.brokers)
+        if len(names) < self.replication_factor:
+            raise NotEnoughReplicasError(
+                f"{len(names)} brokers < replication factor {self.replication_factor}"
+            )
+        self.topics[topic] = partitions
+        for partition in range(partitions):
+            tp = TopicPartition(topic, partition)
+            start = partition % len(names)
+            replicas = [
+                names[(start + i) % len(names)]
+                for i in range(self.replication_factor)
+            ]
+            self.assignments[tp] = replicas
+            for name in replicas:
+                self.brokers[name].host_replica(tp)
+
+    def leader(self, tp: TopicPartition) -> KafkaBroker:
+        return self.brokers[self.assignments[tp][0]]
+
+    # ------------------------------------------------------------------
+    # Produce path
+    # ------------------------------------------------------------------
+    def produce(
+        self,
+        client_host: str,
+        tp: TopicPartition,
+        payload: Payload,
+        record_count: int,
+        producer_id: str = "",
+        sequence: int = -1,
+        acks_all: bool = True,
+    ) -> SimFuture:
+        """Send a record batch to the partition leader; replicate; ack.
+
+        Resolves once ``min.insync.replicas`` replicas (including the
+        leader) have the batch — with the per-replica durability mode the
+        brokers were configured with.
+        """
+        replicas = self.assignments[tp]
+        leader = self.brokers[replicas[0]]
+        wire = payload.size + BATCH_OVERHEAD + RPC_OVERHEAD
+
+        def run():
+            yield self.network.transfer(client_host, leader.name, wire)
+            if not leader.alive:
+                raise KafkaError(f"leader {leader.name} is down")
+            yield self.sim.timeout(leader.request_processing_time)
+            leader_done = leader.append_local(
+                tp, payload, record_count, producer_id, sequence
+            )
+            needed = (self.min_insync_replicas - 1) if acks_all else 0
+            follower_acks = self.sim.future()
+            state = {"acked": 0, "failed": 0}
+            followers = replicas[1:]
+            if needed == 0:
+                follower_acks.set_result(None)
+
+            def on_follower(fut: SimFuture) -> None:
+                if fut.exception is None:
+                    state["acked"] += 1
+                else:
+                    state["failed"] += 1
+                if follower_acks.done:
+                    return
+                if state["acked"] >= needed:
+                    follower_acks.set_result(None)
+                elif state["failed"] > len(followers) - needed:
+                    follower_acks.set_exception(
+                        NotEnoughReplicasError(f"{tp}: in-sync replicas unavailable")
+                    )
+
+            for follower_name in followers:
+                follower = self.brokers[follower_name]
+
+                def start_replication(_: SimFuture, follower=follower) -> None:
+                    transfer = self.network.transfer(leader.name, follower.name, wire)
+
+                    def replicate(__: SimFuture) -> None:
+                        follower.append_local(
+                            tp, payload, record_count, producer_id, sequence
+                        ).add_callback(on_follower)
+
+                    transfer.add_callback(replicate)
+
+                # Follower-fetch round: data leaves the leader only when the
+                # follower's next fetch arrives.
+                self.sim.timeout(self.replication_poll_delay).add_callback(
+                    start_replication
+                )
+
+            yield leader_done
+            yield follower_acks
+            yield self.network.transfer(leader.name, client_host, RPC_OVERHEAD)
+            return self.brokers[replicas[0]].logs[tp].leo
+
+        return self.sim.process(run())
+
+    # ------------------------------------------------------------------
+    # Fetch path (consumers)
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        client_host: str,
+        tp: TopicPartition,
+        offset: int,
+        max_bytes: int = 1024 * 1024,
+        max_wait: float = 0.5,
+    ) -> SimFuture:
+        """Consumer fetch with long polling (fetch.min.bytes=1).
+
+        Resolves with (batches, next_offset, bytes).
+        """
+        leader = self.leader(tp)
+
+        def run():
+            yield self.network.transfer(client_host, leader.name, RPC_OVERHEAD)
+            if not leader.alive:
+                raise KafkaError(f"leader {leader.name} is down")
+            yield self.sim.timeout(leader.request_processing_time)
+            log = leader.logs[tp]
+            if offset >= log.leo:
+                wait = leader.wait_for_data(tp, offset)
+                timeout = self.sim.timeout(max_wait)
+                done = self.sim.future()
+                wait.add_callback(lambda f: done.set_result(None) if not done.done else None)
+                timeout.add_callback(lambda f: done.set_result(None) if not done.done else None)
+                yield done
+            batches: List[LogRecordBatch] = []
+            taken = 0
+            next_offset = offset
+            for batch in log.read(offset):
+                if taken + batch.payload.size > max_bytes and batches:
+                    break
+                batches.append(batch)
+                taken += batch.payload.size + BATCH_OVERHEAD
+                next_offset = batch.last_offset + 1
+            yield self.network.transfer(leader.name, client_host, RPC_OVERHEAD + taken)
+            return batches, next_offset, taken
+
+        return self.sim.process(run())

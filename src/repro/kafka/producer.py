@@ -1,0 +1,234 @@
+"""Kafka producer with linger/batch-size batching (§5.1, "Client
+configuration": 128 KB batch size and 1 ms linger by default; §5.3 also
+evaluates 1 MB / 10 ms).
+
+Batching is *per partition*: a batch accumulates records for one
+partition and is sent when it reaches ``batch_size`` or has been open for
+``linger_ms``.  With random routing keys and many partitions, records
+spread thin across per-partition batches — the mechanism behind the
+Fig. 6b / Fig. 9 results ("we consequently attribute the lower batching
+performance observed to the use of (random) routing keys").  Without
+keys the sticky partitioner fills one partition's batch at a time,
+recovering batching efficiency (the "no keys" configurations of
+Figs. 9-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.hashing import stable_hash64
+from repro.common.payload import Payload
+from repro.sim.core import SimFuture, Simulator
+from repro.sim.resources import FifoServer
+from repro.kafka.broker import KafkaCluster, TopicPartition
+
+__all__ = ["KafkaProducerConfig", "KafkaProducer"]
+
+
+@dataclass(frozen=True)
+class KafkaProducerConfig:
+    batch_size: int = 128 * 1024
+    linger: float = 1e-3  # linger.ms
+    max_in_flight: int = 5
+    acks_all: bool = True
+    #: idempotent producer (enable.idempotence)
+    idempotent: bool = True
+    per_event_cpu: float = 0.5e-6
+    #: fixed client CPU per produce request (framing, syscalls, response
+    #: handling) — with random keys and many partitions the producer emits
+    #: many small requests, and this cost is what dilute batches pay
+    per_request_cpu: float = 25e-6
+    cpu_bandwidth: float = 2e9
+    #: per-record framing overhead in a batch
+    record_overhead: int = 12
+
+
+@dataclass
+class _Record:
+    payload_size: int
+    count: int
+    future: SimFuture
+    enqueue_time: float
+
+
+@dataclass
+class _PartitionBatch:
+    records: List[_Record] = field(default_factory=list)
+    size: int = 0
+    open_time: float = 0.0
+    closed: bool = False
+
+
+class KafkaProducer:
+    """One producer client instance."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: KafkaCluster,
+        topic: str,
+        host: str,
+        config: Optional[KafkaProducerConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.topic = topic
+        self.host = host
+        self.config = config or KafkaProducerConfig()
+        KafkaProducer._counter += 1
+        self.producer_id = f"producer-{KafkaProducer._counter}"
+        self._sequence = 0
+        self._batches: Dict[int, _PartitionBatch] = {}
+        #: in-flight requests per broker connection (max.in.flight semantics)
+        self._in_flight: Dict[str, int] = {}
+        self._send_waiters: Dict[str, List[SimFuture]] = {}
+        self._cpu = FifoServer(sim, name=f"cpu:{self.producer_id}")
+        self._sticky_partition = 0
+        self._unacked = 0
+        self.records_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def num_partitions(self) -> int:
+        return self.cluster.topics[self.topic]
+
+    def _partition_for(self, key: Optional[str]) -> int:
+        if key is not None:
+            return stable_hash64(key) % self.num_partitions
+        # Sticky partitioner: stay on one partition until its batch closes.
+        return self._sticky_partition
+
+    # ------------------------------------------------------------------
+    def send(self, size: int, key: Optional[str] = None, count: int = 1) -> SimFuture:
+        """Produce ``count`` records totalling ``size`` payload bytes.
+
+        Resolves when the broker acknowledges the containing batch(es).
+        A bulk group larger than one batch is split so per-batch limits
+        hold exactly as they would for individual records.
+        """
+        wire = size + count * self.config.record_overhead
+        if count > 1 and wire > self.config.batch_size:
+            return self._send_split(size, key, count, wire)
+        fut = self.sim.future()
+        self._unacked += 1
+        fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
+        partition = self._partition_for(key)
+        record = _Record(size, count, fut, self.sim.now)
+        batch = self._batches.get(partition)
+        if batch is None or batch.closed or batch.size + wire > self.config.batch_size:
+            if batch is not None and not batch.closed:
+                self._close_batch(partition, batch)
+            batch = _PartitionBatch(open_time=self.sim.now)
+            self._batches[partition] = batch
+            self.sim.process(self._linger_timer(partition, batch))
+        batch.records.append(record)
+        batch.size += wire
+        if batch.size >= self.config.batch_size:
+            self._close_batch(partition, batch)
+        return fut
+
+    def _send_split(self, size: int, key: Optional[str], count: int, wire: int) -> SimFuture:
+        """Split an oversized bulk group into batch-sized sub-sends."""
+        pieces = -(-wire // self.config.batch_size)
+        pieces = min(pieces, count)
+        base, remainder = divmod(count, pieces)
+        per_event = size // count
+        done = self.sim.future()
+        remaining = [pieces]
+
+        def on_piece(fut: SimFuture) -> None:
+            remaining[0] -= 1
+            if done.done:
+                return
+            if fut.exception is not None:
+                done.set_exception(fut.exception)
+            elif remaining[0] == 0:
+                done.set_result(fut._value)
+
+        for i in range(pieces):
+            share = base + (1 if i < remainder else 0)
+            if share:
+                self.send(per_event * share, key, share).add_callback(on_piece)
+        return done
+
+    def _linger_timer(self, partition: int, batch: _PartitionBatch):
+        yield self.sim.timeout(self.config.linger)
+        if not batch.closed:
+            self._close_batch(partition, batch)
+
+    def _close_batch(self, partition: int, batch: _PartitionBatch) -> None:
+        if batch.closed or not batch.records:
+            batch.closed = True
+            return
+        batch.closed = True
+        if self._batches.get(partition) is batch:
+            del self._batches[partition]
+        if partition == self._sticky_partition:
+            self._sticky_partition = (self._sticky_partition + 1) % self.num_partitions
+        self.sim.process(self._send_batch(partition, batch))
+
+    def _send_batch(self, partition: int, batch: _PartitionBatch):
+        config = self.config
+        # Respect max.in.flight: the limit applies per *broker connection*
+        # (one connection per broker), not per partition.
+        tp = TopicPartition(self.topic, partition)
+        broker = self.cluster.assignments[tp][0]
+        while self._in_flight.get(broker, 0) >= config.max_in_flight:
+            waiter = self.sim.future()
+            self._send_waiters.setdefault(broker, []).append(waiter)
+            yield waiter
+        self._in_flight[broker] = self._in_flight.get(broker, 0) + 1
+        try:
+            records = sum(r.count for r in batch.records)
+            cpu = (
+                config.per_request_cpu
+                + records * config.per_event_cpu
+                + batch.size / config.cpu_bandwidth
+            )
+            yield self._cpu.submit(cpu)
+            sequence = -1
+            if config.idempotent:
+                sequence = self._sequence
+                self._sequence += 1
+            tp = TopicPartition(self.topic, partition)
+            try:
+                yield self.cluster.produce(
+                    self.host,
+                    tp,
+                    Payload.synthetic(batch.size),
+                    records,
+                    producer_id=self.producer_id,
+                    sequence=sequence,
+                    acks_all=config.acks_all,
+                )
+            except Exception as exc:  # noqa: BLE001 - surface per record
+                for record in batch.records:
+                    if not record.future.done:
+                        record.future.set_exception(exc)
+                return
+            self.records_sent += records
+            self.bytes_sent += batch.size
+            for record in batch.records:
+                if not record.future.done:
+                    record.future.set_result(partition)
+        finally:
+            self._in_flight[broker] -= 1
+            waiters = self._send_waiters.get(broker)
+            if waiters:
+                waiters.pop(0).set_result(None)
+
+    def flush(self) -> SimFuture:
+        """Resolves when every sent record has been acknowledged."""
+
+        def run():
+            for partition, batch in list(self._batches.items()):
+                if not batch.closed:
+                    self._close_batch(partition, batch)
+            while self._unacked > 0:
+                yield self.sim.timeout(0.001)
+
+        return self.sim.process(run())

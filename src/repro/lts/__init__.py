@@ -1,0 +1,13 @@
+"""Long-term storage backends (Pravega's LTS tier, §2.2/§4.3)."""
+
+from repro.lts.backends import FileSystemLTS, InMemoryLTS, NoOpLTS, ObjectStoreLTS
+from repro.lts.base import LongTermStorage, LtsSpec
+
+__all__ = [
+    "LongTermStorage",
+    "LtsSpec",
+    "FileSystemLTS",
+    "ObjectStoreLTS",
+    "NoOpLTS",
+    "InMemoryLTS",
+]

@@ -1,0 +1,97 @@
+"""Concrete LTS backends.
+
+* :class:`FileSystemLTS` — models AWS EFS / NFS (what the paper configures
+  for Pravega, Table 1): moderate per-op latency, ~160 MB/s per stream.
+* :class:`ObjectStoreLTS` — models AWS S3 (what the paper configures for
+  Pulsar's offloader): higher per-request latency, similar per-stream
+  throughput (§5.7 measured EFS and S3 "very similar ... 160MBps approx").
+* :class:`NoOpLTS` — the test feature of §5.4: "allows Pravega to write
+  only metadata to LTS and no data", used to show that single-segment
+  write throughput is LTS-bound.
+* :class:`InMemoryLTS` — zero-latency backend for unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.payload import Payload
+from repro.lts.base import LongTermStorage, LtsSpec
+from repro.sim.core import SimFuture, Simulator
+
+__all__ = ["FileSystemLTS", "ObjectStoreLTS", "NoOpLTS", "InMemoryLTS"]
+
+
+class FileSystemLTS(LongTermStorage):
+    """NFS-flavoured chunk store (AWS EFS in the paper's deployment)."""
+
+    def __init__(self, sim: Simulator, spec: Optional[LtsSpec] = None) -> None:
+        super().__init__(
+            sim,
+            spec
+            or LtsSpec(
+                per_stream_bandwidth=160e6,
+                aggregate_bandwidth=800e6,
+                op_latency=3e-3,
+                name="efs",
+            ),
+        )
+
+
+class ObjectStoreLTS(LongTermStorage):
+    """S3-flavoured chunk store: higher request latency, visible-after-PUT."""
+
+    def __init__(self, sim: Simulator, spec: Optional[LtsSpec] = None) -> None:
+        super().__init__(
+            sim,
+            spec
+            or LtsSpec(
+                per_stream_bandwidth=160e6,
+                aggregate_bandwidth=1000e6,
+                op_latency=15e-3,
+                name="s3",
+            ),
+        )
+
+    def _commit_latency(self) -> float:
+        # PUT completion includes replication inside the object store.
+        return 5e-3
+
+
+class NoOpLTS(LongTermStorage):
+    """Metadata-only LTS (§5.4): accepts chunks instantly, stores nothing.
+
+    Reading a chunk returns synthetic bytes of the recorded size — the
+    chunk *names and sizes* are tracked so tiering metadata stays
+    consistent, but no data transfer cost is paid in either direction.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(
+            sim,
+            LtsSpec(
+                per_stream_bandwidth=float("inf"),
+                aggregate_bandwidth=float("inf"),
+                op_latency=1e-4,
+                name="noop",
+            ),
+        )
+
+    def write_chunk(self, name: str, payload: Payload) -> SimFuture:
+        # Keep only the size; drop content.
+        return super().write_chunk(name, Payload.synthetic(payload.size))
+
+
+class InMemoryLTS(LongTermStorage):
+    """Instantaneous chunk store for unit tests (no simulated latency)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        super().__init__(
+            sim,
+            LtsSpec(
+                per_stream_bandwidth=float("inf"),
+                aggregate_bandwidth=float("inf"),
+                op_latency=0.0,
+                name="memory",
+            ),
+        )

@@ -1,0 +1,244 @@
+"""Reader groups (§3.3).
+
+A reader group RG coordinates a set of readers over the streams S so
+that every event is processed exactly once: at any time the segment sets
+assigned to two readers are disjoint, every active segment is eventually
+assigned, and — crucially for per-key order across scale-*down* events —
+a successor segment is *held back* until every one of its predecessors
+has been fully read ("we put [the successor] on hold until [the reader]
+flags that it is done", Fig. 2c).
+
+The shared group state lives in a state synchronizer; all mutations are
+optimistic-concurrency updates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pravega.client.controller_client import ControllerClient
+from repro.pravega.client.state_synchronizer import StateSynchronizer
+from repro.sim.core import SimFuture, Simulator
+
+__all__ = ["ReaderGroupState", "ReaderGroup"]
+
+
+def _new_state(scope: str, stream: str, head_segments: List[int]) -> dict:
+    return {
+        "scope": scope,
+        "stream": stream,
+        "readers": [],
+        # segment number -> start offset, ready to be acquired
+        "unassigned": {number: 0 for number in head_segments},
+        # reader id -> {segment number -> current offset}
+        "assigned": {},
+        # successor segment -> set of predecessor numbers not yet completed
+        "pending_predecessors": {},
+        # segments fully read (kept for idempotence of completions)
+        "completed": [],
+    }
+
+
+class ReaderGroup:
+    """Client-side handle on one reader group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        controller: ControllerClient,
+        synchronizer: StateSynchronizer,
+        scope: str,
+        stream: str,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.controller = controller
+        self.synchronizer = synchronizer
+        self.scope = scope
+        self.stream = stream
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        sim: Simulator,
+        name: str,
+        controller: ControllerClient,
+        synchronizer: StateSynchronizer,
+        scope: str,
+        stream: str,
+    ) -> SimFuture:
+        """Create the group reading ``scope/stream`` from its head."""
+        group = cls(sim, name, controller, synchronizer, scope, stream)
+
+        def run():
+            heads = yield controller.head_segments(scope, stream)
+            initial = _new_state(scope, stream, [h.segment_number for h in heads])
+            yield synchronizer.initialize(initial)
+            return group
+
+        return sim.process(run())
+
+    # ------------------------------------------------------------------
+    # Reader membership
+    # ------------------------------------------------------------------
+    def add_reader(self, reader_id: str) -> SimFuture:
+        def updater(state):
+            if reader_id not in state["readers"]:
+                state["readers"].append(reader_id)
+                state["assigned"].setdefault(reader_id, {})
+            return state
+
+        return self.synchronizer.update(updater)
+
+    def reader_offline(self, reader_id: str) -> SimFuture:
+        """Remove a dead reader; its segments go back to unassigned."""
+
+        def updater(state):
+            if reader_id in state["readers"]:
+                state["readers"].remove(reader_id)
+            released = state["assigned"].pop(reader_id, {})
+            state["unassigned"].update(released)
+            return state
+
+        return self.synchronizer.update(updater)
+
+    # ------------------------------------------------------------------
+    # Segment acquisition / release (fairness: ~equal segment counts)
+    # ------------------------------------------------------------------
+    def acquire_segments(self, reader_id: str) -> SimFuture:
+        """Grab unassigned segments up to this reader's fair share.
+
+        Resolves with {segment_number: start_offset} newly acquired.
+        """
+        acquired: Dict[int, int] = {}
+
+        def updater(state):
+            acquired.clear()
+            if reader_id not in state["readers"]:
+                return None
+            total = len(state["unassigned"]) + sum(
+                len(s) for s in state["assigned"].values()
+            )
+            readers = max(len(state["readers"]), 1)
+            fair_share = max(1, math.ceil(total / readers))
+            mine = state["assigned"].setdefault(reader_id, {})
+            changed = False
+            for number in sorted(state["unassigned"]):
+                if len(mine) >= fair_share:
+                    break
+                offset = state["unassigned"].pop(number)
+                mine[number] = offset
+                acquired[number] = offset
+                changed = True
+            return state if changed else None
+
+        def run():
+            yield self.synchronizer.update(updater)
+            return dict(acquired)
+
+        return self.sim.process(run())
+
+    def release_segment(self, reader_id: str, segment_number: int, offset: int) -> SimFuture:
+        """Voluntarily give a segment back (rebalancing)."""
+
+        def updater(state):
+            mine = state["assigned"].get(reader_id, {})
+            if segment_number not in mine:
+                return None
+            del mine[segment_number]
+            state["unassigned"][segment_number] = offset
+            return state
+
+        return self.synchronizer.update(updater)
+
+    def update_position(self, reader_id: str, segment_number: int, offset: int) -> SimFuture:
+        """Persist a reader's position (checkpoint-style)."""
+
+        def updater(state):
+            mine = state["assigned"].get(reader_id, {})
+            if segment_number not in mine or mine[segment_number] == offset:
+                return None
+            mine[segment_number] = offset
+            return state
+
+        return self.synchronizer.update(updater)
+
+    # ------------------------------------------------------------------
+    # End-of-segment protocol (§3.3, Fig. 2c)
+    # ------------------------------------------------------------------
+    def segment_completed(self, reader_id: str, segment_number: int) -> SimFuture:
+        """A reader finished a sealed segment: fetch its successors from
+        the controller and update the group state.
+
+        Each successor becomes acquirable only once *all* its predecessors
+        are completed (merge hold-back); until then it waits in
+        ``pending_predecessors``.
+        """
+
+        def run():
+            successors = yield self.controller.get_successors(
+                self.scope, self.stream, segment_number
+            )
+
+            def updater(state):
+                mine = state["assigned"].get(reader_id, {})
+                mine.pop(segment_number, None)
+                if segment_number in state["completed"]:
+                    return state
+                state["completed"].append(segment_number)
+                for successor, predecessors in successors.items():
+                    if successor in state["completed"]:
+                        continue
+                    already_known = (
+                        successor in state["unassigned"]
+                        or any(successor in s for s in state["assigned"].values())
+                    )
+                    if already_known:
+                        continue
+                    pending = state["pending_predecessors"].get(
+                        successor,
+                        [p for p in predecessors],
+                    )
+                    pending = [
+                        p for p in pending if p not in state["completed"]
+                    ]
+                    if pending:
+                        state["pending_predecessors"][successor] = pending
+                    else:
+                        state["pending_predecessors"].pop(successor, None)
+                        state["unassigned"][successor] = 0
+                return state
+
+            state, _ = yield self.synchronizer.update(updater)
+            return state
+
+        return self.sim.process(run())
+
+    # ------------------------------------------------------------------
+    def state(self) -> SimFuture:
+        """Resolves with the current shared state (for tests/inspection)."""
+
+        def run():
+            state, _ = yield self.synchronizer.fetch()
+            return state
+
+        return self.sim.process(run())
+
+    @staticmethod
+    def check_invariants(state: dict) -> None:
+        """Reader-group contract: assigned sets are pairwise disjoint and
+        disjoint from unassigned; held successors are not acquirable."""
+        seen: Set[int] = set()
+        for reader_id, segments in state["assigned"].items():
+            for number in segments:
+                assert number not in seen, f"segment {number} assigned twice"
+                seen.add(number)
+        for number in state["unassigned"]:
+            assert number not in seen, f"segment {number} assigned and unassigned"
+        for successor in state["pending_predecessors"]:
+            assert successor not in seen
+            assert successor not in state["unassigned"]

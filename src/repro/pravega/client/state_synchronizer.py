@@ -1,0 +1,114 @@
+"""The state synchronizer (§3.3).
+
+"The assignment of segments to readers in the group is built upon the
+distributed coordination mechanism we expose in Pravega called state
+synchronizer ... an API built on top of Pravega streams that enables
+readers to have a consistent view of a distributed state via optimistic
+concurrency."
+
+Implementation: the shared state lives under a single key of a table
+segment (the key-value API of §2.2, itself built on segments); updates
+are conditional on the version observed at fetch time and retried on
+conflict — optimistic concurrency with linearizable outcomes.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import ConditionalUpdateError
+from repro.sim.core import SimFuture, Simulator
+
+__all__ = ["StateSynchronizer"]
+
+_STATE_KEY = "state"
+
+
+class StateSynchronizer:
+    """A replicated state cell with compare-and-set semantics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stores: Dict[str, "SegmentStore"],  # noqa: F821 - avoid import cycle
+        store_for_segment: Callable[[str], "SegmentStore"],  # noqa: F821
+        segment: str,
+        host: str,
+    ) -> None:
+        self.sim = sim
+        self._stores = stores
+        self._store_for_segment = store_for_segment
+        self.segment = segment
+        self.host = host
+        self.updates_applied = 0
+        self.conflicts = 0
+
+    def _store(self):
+        return self._store_for_segment(self.segment)
+
+    def initialize(self, initial_state: Any) -> SimFuture:
+        """Create the backing table segment and set the initial state
+        (idempotent: an existing state wins)."""
+
+        def run():
+            from repro.common.errors import SegmentExistsError
+
+            try:
+                yield self._store().rpc_create_segment(
+                    self.host, self.segment, is_table=True
+                )
+            except SegmentExistsError:
+                pass
+            try:
+                yield self._store().rpc_table_update(
+                    self.host,
+                    self.segment,
+                    {_STATE_KEY: (copy.deepcopy(initial_state), -1)},
+                )
+            except ConditionalUpdateError:
+                pass  # someone else initialized first
+
+        return self.sim.process(run())
+
+    def fetch(self) -> SimFuture:
+        """Resolves with (state, version)."""
+
+        def run():
+            entries = yield self._store().rpc_table_get(
+                self.host, self.segment, [_STATE_KEY]
+            )
+            if _STATE_KEY not in entries:
+                return None, -1
+            value, version = entries[_STATE_KEY]
+            return copy.deepcopy(value), version
+
+        return self.sim.process(run())
+
+    def update(self, updater: Callable[[Any], Optional[Any]]) -> SimFuture:
+        """Optimistically apply ``updater`` to the shared state.
+
+        ``updater`` receives a private copy and returns the new state (or
+        None to abort without writing).  On a version conflict the fetch +
+        update is retried.  Resolves with the final (state, version).
+        """
+
+        def run():
+            while True:
+                state, version = yield self.fetch()
+                new_state = updater(copy.deepcopy(state))
+                if new_state is None:
+                    return state, version
+                try:
+                    versions = yield self._store().rpc_table_update(
+                        self.host,
+                        self.segment,
+                        {_STATE_KEY: (new_state, version)},
+                    )
+                except ConditionalUpdateError:
+                    self.conflicts += 1
+                    continue
+                self.updates_applied += 1
+                return new_state, versions[_STATE_KEY]
+
+        return self.sim.process(run())

@@ -1,0 +1,40 @@
+"""Segment container internals: operations, durable log, cache, read
+index, storage writer, and the container itself (§4)."""
+
+from repro.pravega.container.cache import BlockCache, CacheFullError, CacheSpec
+from repro.pravega.container.container import (
+    AppendResult,
+    ContainerConfig,
+    ReadResult,
+    SegmentContainer,
+    SegmentInfo,
+    SegmentState,
+)
+from repro.pravega.container.durable_log import DataFrame, DurableLog, DurableLogConfig
+from repro.pravega.container.read_index import CacheManager, IndexEntry, SegmentReadIndex
+from repro.pravega.container.storage_writer import (
+    ChunkRecord,
+    StorageWriter,
+    StorageWriterConfig,
+)
+
+__all__ = [
+    "SegmentContainer",
+    "ContainerConfig",
+    "SegmentState",
+    "SegmentInfo",
+    "AppendResult",
+    "ReadResult",
+    "DurableLog",
+    "DurableLogConfig",
+    "DataFrame",
+    "BlockCache",
+    "CacheSpec",
+    "CacheFullError",
+    "SegmentReadIndex",
+    "CacheManager",
+    "IndexEntry",
+    "StorageWriter",
+    "StorageWriterConfig",
+    "ChunkRecord",
+]

@@ -1,0 +1,165 @@
+"""Segment-container operations (§4.1).
+
+"In the segment store, every request that modifies a segment is converted
+into an operation and queued up for processing.  There are multiple types
+of operations, each indicating a different modification to the segment."
+All operations of a container are multiplexed into its single WAL log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.common.payload import Payload
+
+__all__ = [
+    "OperationType",
+    "Operation",
+    "AppendOperation",
+    "CreateSegmentOperation",
+    "SealSegmentOperation",
+    "TruncateSegmentOperation",
+    "MergeSegmentOperation",
+    "DeleteSegmentOperation",
+    "TableUpdateOperation",
+    "MetadataCheckpointOperation",
+    "OP_HEADER_SIZE",
+]
+
+#: serialized header per operation in a WAL data frame
+OP_HEADER_SIZE = 32
+
+
+class OperationType(enum.Enum):
+    APPEND = "append"
+    CREATE = "create"
+    SEAL = "seal"
+    TRUNCATE = "truncate"
+    MERGE = "merge"
+    DELETE = "delete"
+    TABLE_UPDATE = "table_update"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class Operation:
+    """Base class; ``sequence_number`` is assigned by the durable log."""
+
+    segment: str
+    sequence_number: int = field(default=-1, init=False)
+
+    op_type: OperationType = field(default=None, init=False)  # type: ignore[assignment]
+
+    @property
+    def serialized_size(self) -> int:
+        return OP_HEADER_SIZE
+
+
+@dataclass
+class AppendOperation(Operation):
+    """An append of ``payload`` bytes to a segment.
+
+    Carries the writer's dedup state: the ⟨writer id, event number⟩ pair is
+    persisted in the segment's attributes as part of processing the append
+    (§3.2), so duplicates can be detected after reconnects.
+    """
+
+    payload: Payload = field(default_factory=Payload.empty)
+    writer_id: str = ""
+    event_number: int = -1
+    event_count: int = 1
+    #: assigned by the container at admission: segment offset of this append
+    offset: int = field(default=-1, init=False)
+
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.APPEND
+
+    @property
+    def serialized_size(self) -> int:
+        return OP_HEADER_SIZE + self.payload.size
+
+
+@dataclass
+class CreateSegmentOperation(Operation):
+    #: non-empty for table segments (key-value API, §2.2)
+    is_table: bool = False
+
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.CREATE
+
+
+@dataclass
+class SealSegmentOperation(Operation):
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.SEAL
+
+
+@dataclass
+class TruncateSegmentOperation(Operation):
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.TRUNCATE
+
+
+@dataclass
+class MergeSegmentOperation(Operation):
+    """Merge ``source`` (sealed) into ``segment`` at its current length."""
+
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.MERGE
+
+
+@dataclass
+class DeleteSegmentOperation(Operation):
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.DELETE
+
+
+@dataclass
+class TableUpdateOperation(Operation):
+    """A serialized batch of key-value table updates (§4.3).
+
+    ``updates`` maps key -> (value, expected_version or None); a None value
+    means removal.  All updates in one operation commit atomically.
+    """
+
+    updates: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.TABLE_UPDATE
+
+    @property
+    def serialized_size(self) -> int:
+        payload = 0
+        for key, (value, _) in self.updates.items():
+            payload += len(str(key)) + 16
+            if value is None:
+                continue
+            try:
+                payload += len(value)
+            except TypeError:
+                payload += 16  # scalar values serialize small
+        return OP_HEADER_SIZE + payload
+
+
+@dataclass
+class MetadataCheckpointOperation(Operation):
+    """A snapshot of the container metadata (§4.4).
+
+    Recovery reads the last checkpoint and replays subsequent operations.
+    """
+
+    snapshot: Optional[Any] = None
+    snapshot_size: int = 0
+
+    def __post_init__(self) -> None:
+        self.op_type = OperationType.CHECKPOINT
+
+    @property
+    def serialized_size(self) -> int:
+        return OP_HEADER_SIZE + self.snapshot_size

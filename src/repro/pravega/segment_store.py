@@ -1,0 +1,377 @@
+"""Segment store instances: container hosts + the data-plane RPC surface.
+
+"The data plane distributes the segment-related load based on segment
+containers ... the main role of segment store instances is to host
+segment containers.  A segment is mapped during its entire life to a
+segment container using a stateless, uniform hash function" (§2.2).
+
+Container ownership lives in the coordination service; when a store
+crashes, its containers are redistributed across the remaining instances
+and recovered there (WAL fencing guarantees exclusive access, §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ContainerOfflineError, SegmentError
+from repro.common.hashing import assign_to_bucket
+from repro.common.metrics import MetricsRegistry
+from repro.common.payload import Payload
+from repro.bookkeeper.client import BookKeeperCluster
+from repro.lts.base import LongTermStorage
+from repro.pravega.container.container import (
+    ContainerConfig,
+    SegmentContainer,
+)
+from repro.sim.core import SimFuture, Simulator
+from repro.sim.network import Network
+from repro.zookeeper.service import ZookeeperService
+
+__all__ = ["SegmentStoreConfig", "SegmentStore", "SegmentStoreCluster"]
+
+#: RPC request/response framing overhead, bytes
+RPC_OVERHEAD = 64
+
+
+@dataclass(frozen=True)
+class SegmentStoreConfig:
+    container: ContainerConfig = field(default_factory=ContainerConfig)
+    #: server-side processing latency per request (dispatch, parsing)
+    request_processing_time: float = 30e-6
+
+
+class SegmentStore:
+    """One segment store instance (one host)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network: Network,
+        bk_cluster: BookKeeperCluster,
+        zk_service: ZookeeperService,
+        lts: LongTermStorage,
+        config: Optional[SegmentStoreConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.network = network
+        self.bk_cluster = bk_cluster
+        self.zk_service = zk_service
+        self.lts = lts
+        self.config = config or SegmentStoreConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.containers: Dict[int, SegmentContainer] = {}
+        self.alive = True
+        self.bytes_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Container hosting
+    # ------------------------------------------------------------------
+    def host_container(self, container_id: int, recover: bool = False) -> SimFuture:
+        """Start (or recover) a container on this store."""
+        zk = self.zk_service.connect(self.name)
+        container = SegmentContainer(
+            self.sim,
+            container_id,
+            self.bk_cluster.client(self.name),
+            zk,
+            self.lts,
+            self.config.container,
+            self.metrics,
+        )
+        self.containers[container_id] = container
+        return container.recover() if recover else container.start()
+
+    def drop_container(self, container_id: int) -> None:
+        container = self.containers.pop(container_id, None)
+        if container is not None:
+            container.shutdown()
+
+    def container_for(self, segment: str) -> SegmentContainer:
+        """The container owning ``segment`` — if hosted here."""
+        container_id = assign_to_bucket(segment, self._total_containers())
+        container = self.containers.get(container_id)
+        if container is None:
+            raise SegmentError(
+                f"store {self.name} does not host container {container_id} "
+                f"for segment {segment}"
+            )
+        return container
+
+    def _total_containers(self) -> int:
+        # The container count is a fixed cluster constant known everywhere.
+        return self.cluster.num_containers  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Failure model
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop the whole instance: every hosted container goes down."""
+        self.alive = False
+        for container in self.containers.values():
+            container.shutdown(ContainerOfflineError(f"store {self.name} crashed"))
+        self.containers.clear()
+
+    def restart(self) -> None:
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # RPC surface (all methods pay network + processing costs)
+    # ------------------------------------------------------------------
+    def _rpc(
+        self,
+        client_host: str,
+        request_bytes: int,
+        handler: Callable[[], SimFuture],
+        reply_bytes: int = RPC_OVERHEAD,
+    ) -> SimFuture:
+        """Request transfer -> processing -> handler -> reply transfer."""
+        result = self.sim.future()
+
+        def run():
+            yield self.network.transfer(client_host, self.name, request_bytes)
+            if not self.alive:
+                raise ContainerOfflineError(f"store {self.name} is down")
+            yield self.sim.timeout(self.config.request_processing_time)
+            value = yield handler()
+            yield self.network.transfer(self.name, client_host, reply_bytes)
+            return value
+
+        proc = self.sim.process(run())
+        proc.add_callback(
+            lambda p: result.set_exception(p.exception)
+            if p.exception is not None
+            else result.set_result(p._value)
+        )
+        return result
+
+    def rpc_append(
+        self,
+        client_host: str,
+        segment: str,
+        payload: Payload,
+        writer_id: str = "",
+        event_number: int = -1,
+        event_count: int = 1,
+    ) -> SimFuture:
+        """Append a (batched) payload to a segment; resolves with AppendResult."""
+        self.bytes_ingested += payload.size
+
+        def handler():
+            return self.container_for(segment).append(
+                segment, payload, writer_id, event_number, event_count
+            )
+
+        return self._rpc(
+            client_host, RPC_OVERHEAD + payload.size, handler
+        )
+
+    def rpc_read(
+        self, client_host: str, segment: str, offset: int, max_bytes: int
+    ) -> SimFuture:
+        """Read from a segment; resolves with ReadResult (tail reads wait)."""
+        reply_holder: Dict[str, int] = {"bytes": RPC_OVERHEAD}
+
+        def handler():
+            fut = self.container_for(segment).read(segment, offset, max_bytes)
+
+            def note_size(f: SimFuture) -> None:
+                if f.exception is None:
+                    reply_holder["bytes"] = RPC_OVERHEAD + f._value.payload.size
+
+            fut.add_callback(note_size)
+            return fut
+
+        result = self.sim.future()
+
+        def run():
+            yield self.network.transfer(client_host, self.name, RPC_OVERHEAD)
+            if not self.alive:
+                raise ContainerOfflineError(f"store {self.name} is down")
+            yield self.sim.timeout(self.config.request_processing_time)
+            value = yield handler()
+            yield self.network.transfer(self.name, client_host, reply_holder["bytes"])
+            return value
+
+        proc = self.sim.process(run())
+        proc.add_callback(
+            lambda p: result.set_exception(p.exception)
+            if p.exception is not None
+            else result.set_result(p._value)
+        )
+        return result
+
+    def rpc_get_info(self, client_host: str, segment: str) -> SimFuture:
+        def handler():
+            fut = self.sim.future()
+            try:
+                fut.set_result(self.container_for(segment).get_info(segment))
+            except Exception as exc:  # noqa: BLE001
+                fut.set_exception(exc)
+            return fut
+
+        return self._rpc(client_host, RPC_OVERHEAD, handler)
+
+    def rpc_get_attribute(self, client_host: str, segment: str, writer_id: str) -> SimFuture:
+        """The writer-reconnect handshake (§3.2): last event number."""
+
+        def handler():
+            fut = self.sim.future()
+            try:
+                fut.set_result(
+                    self.container_for(segment).get_attribute(segment, writer_id)
+                )
+            except Exception as exc:  # noqa: BLE001
+                fut.set_exception(exc)
+            return fut
+
+        return self._rpc(client_host, RPC_OVERHEAD, handler)
+
+    def rpc_create_segment(
+        self, client_host: str, segment: str, is_table: bool = False
+    ) -> SimFuture:
+        def handler():
+            return self.container_for(segment).create_segment(segment, is_table)
+
+        return self._rpc(client_host, RPC_OVERHEAD, handler)
+
+    def rpc_seal_segment(self, client_host: str, segment: str) -> SimFuture:
+        def handler():
+            return self.container_for(segment).seal_segment(segment)
+
+        return self._rpc(client_host, RPC_OVERHEAD, handler)
+
+    def rpc_truncate_segment(
+        self, client_host: str, segment: str, offset: int
+    ) -> SimFuture:
+        def handler():
+            return self.container_for(segment).truncate_segment(segment, offset)
+
+        return self._rpc(client_host, RPC_OVERHEAD, handler)
+
+    def rpc_delete_segment(self, client_host: str, segment: str) -> SimFuture:
+        def handler():
+            return self.container_for(segment).delete_segment(segment)
+
+        return self._rpc(client_host, RPC_OVERHEAD, handler)
+
+    def rpc_table_update(
+        self, client_host: str, segment: str, updates: Dict[str, Tuple[Any, Optional[int]]]
+    ) -> SimFuture:
+        def handler():
+            return self.container_for(segment).table_update(segment, updates)
+
+        return self._rpc(client_host, RPC_OVERHEAD + 64 * len(updates), handler)
+
+    def rpc_table_get(self, client_host: str, segment: str, keys: List[str]) -> SimFuture:
+        def handler():
+            fut = self.sim.future()
+            try:
+                fut.set_result(self.container_for(segment).table_get(segment, keys))
+            except Exception as exc:  # noqa: BLE001
+                fut.set_exception(exc)
+            return fut
+
+        return self._rpc(client_host, RPC_OVERHEAD + 32 * len(keys), handler)
+
+    # ------------------------------------------------------------------
+    def load_report(self) -> Dict[str, Tuple[float, float]]:
+        """Aggregate per-segment rates across hosted containers (§3.1)."""
+        report: Dict[str, Tuple[float, float]] = {}
+        for container in self.containers.values():
+            report.update(container.load_report())
+        return report
+
+
+class SegmentStoreCluster:
+    """Container-to-store assignment plus failover (§4.4).
+
+    The assignment map lives in the coordination service; this class is
+    the management logic every store/controller shares.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        zk_service: ZookeeperService,
+        num_containers: int,
+    ) -> None:
+        self.sim = sim
+        self.zk_service = zk_service
+        self.num_containers = num_containers
+        self.stores: Dict[str, SegmentStore] = {}
+        self._assignment: Dict[int, str] = {}
+        self._zk = zk_service.connect("cluster-manager")
+
+    def add_store(self, store: SegmentStore) -> None:
+        store.cluster = self  # type: ignore[attr-defined]
+        self.stores[store.name] = store
+
+    def assignment(self) -> Dict[int, str]:
+        return dict(self._assignment)
+
+    def store_for_container(self, container_id: int) -> SegmentStore:
+        return self.stores[self._assignment[container_id]]
+
+    def store_for_segment(self, segment: str) -> SegmentStore:
+        container_id = assign_to_bucket(segment, self.num_containers)
+        return self.store_for_container(container_id)
+
+    def bootstrap(self) -> SimFuture:
+        """Distribute containers round-robin and start them all."""
+
+        def run():
+            yield self._zk.ensure_path("/pravega/cluster/containers")
+            names = sorted(n for n, s in self.stores.items() if s.alive)
+            startups = []
+            for container_id in range(self.num_containers):
+                target = names[container_id % len(names)]
+                self._assignment[container_id] = target
+                yield self._zk.ensure_path(
+                    f"/pravega/cluster/containers/{container_id}"
+                )
+                yield self._zk.set(
+                    f"/pravega/cluster/containers/{container_id}",
+                    target.encode(),
+                )
+                startups.append(self.stores[target].host_container(container_id))
+            for startup in startups:
+                yield startup
+
+        return self.sim.process(run())
+
+    def fail_store(self, name: str) -> SimFuture:
+        """Crash a store and redistribute its containers (§4.4).
+
+        The surviving stores recover each reassigned container: recovery
+        fences the old WAL ledgers, so even if the crashed store were
+        still half-alive its writes would be rejected (no split brain).
+        """
+        victim = self.stores[name]
+        orphaned = [cid for cid, owner in self._assignment.items() if owner == name]
+        victim.crash()
+
+        def run():
+            survivors = sorted(n for n, s in self.stores.items() if s.alive)
+            if not survivors:
+                raise ContainerOfflineError("no surviving segment stores")
+            recoveries = []
+            for i, container_id in enumerate(orphaned):
+                target = survivors[i % len(survivors)]
+                self._assignment[container_id] = target
+                yield self._zk.set(
+                    f"/pravega/cluster/containers/{container_id}",
+                    target.encode(),
+                )
+                recoveries.append(
+                    self.stores[target].host_container(container_id, recover=True)
+                )
+            for recovery in recoveries:
+                yield recovery
+            return len(orphaned)
+
+        return self.sim.process(run())

@@ -1,0 +1,22 @@
+"""Pulsar-like baseline (§5.1, Table 1): brokers over Bookkeeper with
+client-side batching and non-integrated tiered storage."""
+
+from repro.pulsar.broker import (
+    ManagedLedger,
+    PulsarBroker,
+    PulsarBrokerConfig,
+    PulsarCluster,
+)
+from repro.pulsar.consumer import PulsarConsumedBatch, PulsarConsumer
+from repro.pulsar.producer import PulsarProducer, PulsarProducerConfig
+
+__all__ = [
+    "PulsarCluster",
+    "PulsarBroker",
+    "PulsarBrokerConfig",
+    "ManagedLedger",
+    "PulsarProducer",
+    "PulsarProducerConfig",
+    "PulsarConsumer",
+    "PulsarConsumedBatch",
+]

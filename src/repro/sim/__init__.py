@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate (replaces the paper's AWS testbed)."""
+
+from repro.sim.core import Interrupt, Process, SimFuture, Simulator, all_of, any_of
+from repro.sim.disk import Disk, DiskSpec, PageCache, PageCacheSpec
+from repro.sim.network import Host, Network, NetworkSpec
+from repro.sim.resources import FifoServer, Resource, Store
+
+__all__ = [
+    "Simulator",
+    "SimFuture",
+    "Process",
+    "Interrupt",
+    "all_of",
+    "any_of",
+    "Disk",
+    "DiskSpec",
+    "PageCache",
+    "PageCacheSpec",
+    "Network",
+    "NetworkSpec",
+    "Host",
+    "FifoServer",
+    "Resource",
+    "Store",
+]

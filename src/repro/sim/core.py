@@ -1,0 +1,370 @@
+"""Discrete-event simulation kernel.
+
+The entire reproduction runs on simulated time: every disk write, fsync,
+network transfer and timer costs *simulated* seconds according to device
+models, while wall-clock execution stays fast and deterministic.  The design
+follows the classic process-interaction style (as popularised by SimPy):
+
+* a :class:`Simulator` owns a priority queue of timestamped callbacks;
+* a :class:`Process` drives a Python generator; the generator ``yield``\\ s
+  :class:`SimFuture` instances (timeouts, I/O completions, other processes)
+  and is resumed when they resolve;
+* :class:`SimFuture` is a one-shot completion token with callbacks.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), and the
+kernel itself never consults wall-clock time or global randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "SimFuture",
+    "Process",
+    "Interrupt",
+    "all_of",
+    "any_of",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimFuture:
+    """A one-shot completion token tied to a :class:`Simulator`.
+
+    A future resolves exactly once, either with a value
+    (:meth:`set_result`) or an exception (:meth:`set_exception`).
+    Callbacks added after resolution run immediately.
+    """
+
+    __slots__ = ("sim", "_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        return self._exception
+
+    def add_callback(self, fn: Callable[["SimFuture"], None]) -> None:
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def set_result(self, value: Any = None) -> None:
+        self._resolve(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"not an exception: {exc!r}")
+        self._resolve(None, exc)
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._value = value
+        self._exception = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Process(SimFuture):
+    """Drives a generator coroutine inside the simulation.
+
+    The generator may ``yield``:
+
+    * a :class:`SimFuture` — the process resumes when it resolves, receiving
+      the future's value (or the exception is thrown into the generator);
+    * another :class:`Process` — same thing (a process *is* a future that
+      resolves with the generator's return value);
+    * a number — shorthand for ``sim.timeout(number)``.
+
+    The process itself resolves with the generator's ``return`` value.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any]) -> None:
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"process body must be a generator, got {gen!r}")
+        self._gen = gen
+        self._waiting_on: Optional[SimFuture] = None
+        self._interrupts: list[Interrupt] = []
+        # Start the process at the current simulation time, but asynchronously
+        # so the creator finishes its own step first.
+        sim.call_soon(lambda: self._step(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return not self.done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.done:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            self.sim.call_soon(lambda: self._deliver_interrupt())
+
+    def _deliver_interrupt(self) -> None:
+        if self.done or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        self._step(None, exc)
+
+    def _on_wait_done(self, fut: SimFuture) -> None:
+        if self._waiting_on is not fut:
+            # The wait was cancelled by an interrupt; drop the wakeup.
+            return
+        self._waiting_on = None
+        if fut._exception is not None:
+            self._step(None, fut._exception)
+        else:
+            self._step(fut._value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.done:
+            return
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except Interrupt as unhandled:
+            self.set_exception(unhandled)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate into future
+            self.set_exception(err)
+            return
+        # Pending interrupts preempt whatever we were about to wait on.
+        if self._interrupts:
+            pending = self._interrupts.pop(0)
+            self.sim.call_soon(lambda: self._step(None, pending))
+            return
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(target)
+        if not isinstance(target, SimFuture):
+            self.set_exception(
+                SimulationError(f"process yielded non-awaitable: {target!r}")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+
+class _ScheduledEvent:
+    """A queue entry; the heap orders (time, seq) tuples, so instances
+    themselves never need rich comparisons (hot path)."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        #: heap of (time, seq, event) — tuple comparison is the hot path
+        self._queue: list[tuple[float, int, _ScheduledEvent]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, self._seq, callback)
+        heapq.heappush(self._queue, (event.time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def call_soon(self, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, callback)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Best-effort cancellation of a scheduled event."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Futures and processes
+    # ------------------------------------------------------------------
+    def future(self) -> SimFuture:
+        return SimFuture(self)
+
+    def timeout(self, delay: float, value: Any = None) -> SimFuture:
+        """A future that resolves with ``value`` after ``delay`` seconds."""
+        fut = SimFuture(self)
+        self.schedule(delay, lambda: fut.set_result(value))
+        return fut
+
+    def process(self, gen: Generator[Any, Any, Any]) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, gen)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled event.  Returns False if none remain."""
+        while self._queue:
+            _, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue went backwards")
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        condition: Optional[SimFuture] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``condition``
+        resolves — whichever comes first.
+
+        ``max_events`` is a runaway-loop backstop for tests.
+        """
+        executed = 0
+        while self._queue:
+            if condition is not None and condition.done:
+                return
+            head = self._queue[0][2]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_complete(
+        self, awaitable: SimFuture, timeout: Optional[float] = None
+    ) -> Any:
+        """Run the loop until ``awaitable`` resolves; return its value.
+
+        Raises :class:`SimulationError` if the queue drains (deadlock) or the
+        simulated ``timeout`` elapses before resolution.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        while not awaitable.done:
+            if deadline is not None and self._now >= deadline:
+                raise SimulationError(f"timed out after {timeout} simulated seconds")
+            if not self.step():
+                raise SimulationError("deadlock: event queue drained with pending future")
+        return awaitable.value
+
+
+def all_of(sim: Simulator, futures: Iterable[SimFuture]) -> SimFuture:
+    """A future resolving with the list of all values once every input resolves.
+
+    The first exception (in resolution order) is propagated.
+    """
+    futures = list(futures)
+    result = sim.future()
+    if not futures:
+        result.set_result([])
+        return result
+    remaining = [len(futures)]
+
+    def on_done(_: SimFuture) -> None:
+        if result.done:
+            return
+        remaining[0] -= 1
+        failed = next(
+            (f for f in futures if f.done and f._exception is not None), None
+        )
+        if failed is not None:
+            result.set_exception(failed._exception)  # type: ignore[arg-type]
+            return
+        if remaining[0] == 0:
+            result.set_result([f._value for f in futures])
+
+    for fut in futures:
+        fut.add_callback(on_done)
+    return result
+
+
+def any_of(sim: Simulator, futures: Iterable[SimFuture]) -> SimFuture:
+    """A future resolving with (index, value) of the first input to resolve."""
+    futures = list(futures)
+    if not futures:
+        raise SimulationError("any_of requires at least one future")
+    result = sim.future()
+
+    def make_callback(index: int) -> Callable[[SimFuture], None]:
+        def on_done(fut: SimFuture) -> None:
+            if result.done:
+                return
+            if fut._exception is not None:
+                result.set_exception(fut._exception)
+            else:
+                result.set_result((index, fut._value))
+
+        return on_done
+
+    for i, fut in enumerate(futures):
+        fut.add_callback(make_callback(i))
+    return result

@@ -1,0 +1,99 @@
+"""Network model: hosts with NIC bandwidth, links with RTT.
+
+Messages between hosts pay (i) serialization time on the sender's NIC,
+(ii) half an RTT of propagation, and (iii) a small per-message overhead.
+The sender NIC is a FIFO device, so aggregate egress is bandwidth-bound.
+Intra-host messages (client and server colocated, or a loopback call)
+pay only a tiny local-dispatch latency.
+
+Defaults approximate intra-AZ AWS networking between the c5.4xlarge
+benchmark instances and the i3.4xlarge servers of Table 1: ~10 Gb/s NICs
+and a ~250 us round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.core import SimFuture, Simulator
+from repro.sim.resources import FifoServer
+
+__all__ = ["NetworkSpec", "Host", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    #: NIC bandwidth per host, bytes/second (~10 Gb/s)
+    bandwidth: float = 1.25e9
+    #: round-trip time between any two distinct hosts, seconds
+    rtt: float = 250e-6
+    #: fixed per-message sender-side overhead (syscalls, framing), seconds
+    per_message_overhead: float = 10e-6
+    #: latency of a local (same-host) call, seconds
+    local_latency: float = 5e-6
+
+
+class Host:
+    """A named machine with an egress NIC queue."""
+
+    def __init__(self, sim: Simulator, name: str, spec: NetworkSpec) -> None:
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self._egress = FifoServer(sim, name=f"nic:{name}")
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def egress_backlog_seconds(self) -> float:
+        return self._egress.backlog_seconds()
+
+
+class Network:
+    """Registry of hosts plus the message-transfer primitive."""
+
+    def __init__(self, sim: Simulator, spec: Optional[NetworkSpec] = None) -> None:
+        self.sim = sim
+        self.spec = spec or NetworkSpec()
+        self._hosts: dict[str, Host] = {}
+
+    def host(self, name: str) -> Host:
+        """Get or create the host with ``name``."""
+        existing = self._hosts.get(name)
+        if existing is None:
+            existing = Host(self.sim, name, self.spec)
+            self._hosts[name] = existing
+        return existing
+
+    def transfer(
+        self, src: str, dst: str, nbytes: int, payload: Any = None
+    ) -> SimFuture:
+        """Deliver ``nbytes`` from ``src`` to ``dst``.
+
+        The returned future resolves with ``payload`` at the moment the
+        message arrives at ``dst``.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative message size: {nbytes}")
+        sender = self.host(src)
+        sender.bytes_sent += nbytes
+        sender.messages_sent += 1
+        fut = self.sim.future()
+        if src == dst:
+            self.sim.schedule(self.spec.local_latency, lambda: fut.set_result(payload))
+            return fut
+        service = self.spec.per_message_overhead + nbytes / self.spec.bandwidth
+        serialized = sender._egress.submit(service)
+
+        def after_serialization(_: SimFuture) -> None:
+            self.sim.schedule(self.spec.rtt / 2.0, lambda: fut.set_result(payload))
+
+        serialized.add_callback(after_serialization)
+        return fut
+
+    def rtt_between(self, src: str, dst: str) -> float:
+        """Nominal round-trip time between two hosts."""
+        if src == dst:
+            return 2.0 * self.spec.local_latency
+        return self.spec.rtt

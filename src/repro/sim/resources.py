@@ -1,0 +1,141 @@
+"""Generic simulation resources: FIFO servers, semaphores and queues."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.core import SimFuture, Simulator
+
+__all__ = ["Resource", "FifoServer", "Store"]
+
+
+class Resource:
+    """A counted resource (semaphore) with FIFO granting.
+
+    ``acquire()`` returns a future that resolves when a unit is granted;
+    the holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[SimFuture] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> SimFuture:
+        fut = self.sim.future()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            fut.set_result(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without acquire")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.set_result(None)
+        else:
+            self._in_use -= 1
+
+
+class FifoServer:
+    """A device that serves requests one at a time, each with a known
+    service duration.
+
+    This is the building block for disks and network links: submitting a
+    request enqueues it; the returned future resolves when the device has
+    finished serving it.  Total throughput is therefore bounded by the
+    service rate regardless of the number of concurrent submitters.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "server") -> None:
+        self.sim = sim
+        self.name = name
+        self._busy_until = 0.0
+        self._pending = 0
+        self.total_busy_time = 0.0
+        self.ops_served = 0
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def utilization(self, since: float, now: Optional[float] = None) -> float:
+        """Fraction of time busy over [since, now]. Approximate."""
+        now = self.sim.now if now is None else now
+        window = max(now - since, 1e-12)
+        return min(self.total_busy_time / window, 1.0)
+
+    def submit(self, service_time: float) -> SimFuture:
+        """Enqueue a request taking ``service_time`` seconds of device time."""
+        if service_time < 0:
+            raise SimulationError(f"negative service time: {service_time}")
+        start = max(self.sim.now, self._busy_until)
+        finish = start + service_time
+        self._busy_until = finish
+        self.total_busy_time += service_time
+        self.ops_served += 1
+        self._pending += 1
+        fut = self.sim.future()
+
+        def complete() -> None:
+            self._pending -= 1
+            fut.set_result(None)
+
+        self.sim.schedule(finish - self.sim.now, complete)
+        return fut
+
+    def backlog_seconds(self) -> float:
+        """Seconds of already-queued work ahead of a new submission."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get``."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimFuture] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().set_result(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimFuture:
+        fut = self.sim.future()
+        if self._items:
+            fut.set_result(self._items.popleft())
+        else:
+            self._getters.append(fut)
+        return fut
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise SimulationError("store is empty")
+        return self._items.popleft()
+
+    def drain(self) -> list[Any]:
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,107 @@
+"""Leader election recipe over ephemeral sequential znodes.
+
+This is the standard Zookeeper election recipe Pravega uses for its
+controller instances (§2.2): each candidate creates an ephemeral
+sequential node under an election path; the candidate with the smallest
+sequence number is the leader; every other candidate watches the node
+immediately preceding its own, so leadership transfers without a herd
+effect when the leader's session expires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.errors import NoNodeError
+from repro.sim.core import SimFuture
+from repro.zookeeper.service import WatchEvent, ZkClient
+
+__all__ = ["LeaderElection"]
+
+
+class LeaderElection:
+    """One candidate's participation in an election."""
+
+    def __init__(self, zk: ZkClient, election_path: str, candidate_id: str) -> None:
+        self.zk = zk
+        self.election_path = election_path
+        self.candidate_id = candidate_id
+        self.my_node: Optional[str] = None
+        self._leader_future: Optional[SimFuture] = None
+        self._on_leadership: list[Callable[[], None]] = []
+
+    @property
+    def is_leader(self) -> bool:
+        return self._leader_future is not None and self._leader_future.done
+
+    def on_leadership(self, callback: Callable[[], None]) -> None:
+        self._on_leadership.append(callback)
+        if self.is_leader:
+            callback()
+
+    def campaign(self) -> SimFuture:
+        """Join the election; the returned future resolves when this
+        candidate becomes leader."""
+        sim = self.zk.service.sim
+        if self._leader_future is not None:
+            return self._leader_future
+        self._leader_future = sim.future()
+        proc = sim.process(self._campaign_process())
+        proc.add_callback(self._propagate_failure)
+        return self._leader_future
+
+    def _propagate_failure(self, proc: SimFuture) -> None:
+        if proc.exception is not None and not self._leader_future.done:
+            self._leader_future.set_exception(proc.exception)
+
+    def _campaign_process(self):
+        yield self.zk.ensure_path(self.election_path)
+        created = yield self.zk.create(
+            f"{self.election_path}/candidate-",
+            data=self.candidate_id.encode("utf-8"),
+            ephemeral=True,
+            sequential=True,
+        )
+        self.my_node = created
+        my_name = created.rsplit("/", 1)[1]
+        while True:
+            children = yield self.zk.get_children(self.election_path)
+            ordered = sorted(children)
+            if ordered and ordered[0] == my_name:
+                self._leader_future.set_result(self.candidate_id)
+                for callback in self._on_leadership:
+                    callback()
+                return
+            # Watch the candidate immediately ahead of us.
+            my_index = ordered.index(my_name)
+            predecessor = f"{self.election_path}/{ordered[my_index - 1]}"
+            changed = self.zk.service.sim.future()
+
+            def on_change(_: WatchEvent) -> None:
+                if not changed.done:
+                    changed.set_result(None)
+
+            stat = yield self.zk.exists(predecessor)
+            if stat is None:
+                continue  # predecessor vanished between list and watch
+            self.zk.watch_data(predecessor, on_change)
+            yield changed
+
+    def resign(self) -> SimFuture:
+        """Leave the election (deletes our candidate node)."""
+        if self.my_node is None:
+            fut = self.zk.service.sim.future()
+            fut.set_result(None)
+            return fut
+        node, self.my_node = self.my_node, None
+        result = self.zk.service.sim.future()
+        delete = self.zk.delete(node)
+
+        def on_done(fut: SimFuture) -> None:
+            if isinstance(fut.exception, NoNodeError) or fut.exception is None:
+                result.set_result(None)
+            else:
+                result.set_exception(fut.exception)
+
+        delete.add_callback(on_done)
+        return result

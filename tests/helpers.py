@@ -1,0 +1,36 @@
+"""Shared test fixtures/utilities for Pravega integration tests."""
+
+from __future__ import annotations
+
+from repro.pravega import PravegaCluster, PravegaClusterConfig
+from repro.sim import Simulator
+
+
+def build_cluster(sim: Simulator, **overrides) -> PravegaCluster:
+    """A started cluster on in-memory LTS (unless overridden)."""
+    config = PravegaClusterConfig(**{"lts_kind": "memory", **overrides})
+    cluster = PravegaCluster.build(sim, config)
+    sim.run_until_complete(cluster.start(), timeout=120)
+    return cluster
+
+
+def make_stream(sim, cluster, scope="test", stream="stream", config=None):
+    client = cluster.controller_client("bench-0")
+    sim.run_until_complete(client.create_scope(scope))
+    sim.run_until_complete(client.create_stream(scope, stream, config))
+    return client
+
+
+def run(sim: Simulator, fut, timeout=120.0):
+    return sim.run_until_complete(fut, timeout=timeout)
+
+
+def drain_reader(sim, reader, expected_events, timeout=120.0):
+    """Read until ``expected_events`` events arrive; returns EventBatches."""
+    batches = []
+    count = 0
+    while count < expected_events:
+        batch = sim.run_until_complete(reader.read_next(), timeout=timeout)
+        batches.append(batch)
+        count += batch.event_count
+    return batches

@@ -1,0 +1,416 @@
+"""Tests for the segment container: append/read/seal/truncate/delete,
+dedup attributes, tail reads, tables, tiering integration, checkpoints,
+crash recovery and fencing."""
+
+import pytest
+
+from repro.common.errors import (
+    ConditionalUpdateError,
+    SegmentExistsError,
+    SegmentNotFoundError,
+    SegmentSealedError,
+    StreamError,
+)
+from repro.common.payload import Payload
+from repro.bookkeeper import Bookie, BookKeeperCluster
+from repro.lts import FileSystemLTS, InMemoryLTS, LtsSpec
+from repro.pravega.container import (
+    ContainerConfig,
+    SegmentContainer,
+)
+from repro.pravega.container.durable_log import DurableLogConfig
+from repro.pravega.container.storage_writer import StorageWriterConfig
+from repro.sim import Disk, Network, Simulator, all_of
+from repro.zookeeper import ZookeeperService
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def env(sim):
+    network = Network(sim)
+    zk_service = ZookeeperService(sim, network)
+    bk = BookKeeperCluster(sim, network)
+    for i in range(3):
+        bk.add_bookie(Bookie(sim, f"bookie-{i}", Disk(sim)))
+    return network, zk_service, bk
+
+
+def make_container(sim, env, lts=None, config=None, container_id=0, start=True):
+    network, zk_service, bk = env
+    container = SegmentContainer(
+        sim,
+        container_id,
+        bk.client("store-0"),
+        zk_service.connect("store-0"),
+        lts or InMemoryLTS(sim),
+        config
+        or ContainerConfig(
+            storage=StorageWriterConfig(flush_threshold=2_000, flush_timeout=0.05)
+        ),
+    )
+    if start:
+        sim.run_until_complete(container.start())
+    return container
+
+
+def run(sim, fut, timeout=60.0):
+    return sim.run_until_complete(fut, timeout=timeout)
+
+
+class TestSegmentLifecycle:
+    def test_create_and_info(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s/x/0"))
+        info = c.get_info("s/x/0")
+        assert info.length == 0 and not info.sealed
+
+    def test_duplicate_create_rejected(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s/x/0"))
+        fut = c.create_segment("s/x/0")
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, SegmentExistsError)
+
+    def test_append_to_missing_segment(self, sim, env):
+        c = make_container(sim, env)
+        fut = c.append("nope", Payload.of(b"x"))
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, SegmentNotFoundError)
+
+    def test_seal_blocks_appends(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"data")))
+        run(sim, c.seal_segment("s"))
+        fut = c.append("s", Payload.of(b"more"))
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, SegmentSealedError)
+        assert c.get_info("s").sealed
+
+    def test_delete_segment(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.delete_segment("s"))
+        with pytest.raises(SegmentNotFoundError):
+            c.get_info("s")
+
+    def test_truncate_moves_start_offset(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"0123456789")))
+        run(sim, c.truncate_segment("s", 5))
+        assert c.get_info("s").start_offset == 5
+        fut = c.read("s", 2, 10)
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, StreamError)
+
+    def test_truncate_outside_bounds_rejected(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        fut = c.truncate_segment("s", 100)
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, StreamError)
+
+
+class TestAppendRead:
+    def test_append_read_roundtrip(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        result = run(sim, c.append("s", Payload.of(b"hello")))
+        assert result.offset == 0
+        read = run(sim, c.read("s", 0, 100))
+        assert read.payload.content == b"hello"
+
+    def test_appends_get_sequential_offsets(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        futs = [c.append("s", Payload.synthetic(10)) for _ in range(20)]
+        results = run(sim, all_of(sim, futs))
+        assert [r.offset for r in results] == [i * 10 for i in range(20)]
+        assert c.get_info("s").length == 200
+
+    def test_interleaved_segments_isolated(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("a"))
+        run(sim, c.create_segment("b"))
+        run(sim, c.append("a", Payload.of(b"aaa")))
+        run(sim, c.append("b", Payload.of(b"bbb")))
+        assert run(sim, c.read("a", 0, 10)).payload.content == b"aaa"
+        assert run(sim, c.read("b", 0, 10)).payload.content == b"bbb"
+
+    def test_tail_read_waits_for_data(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        read_fut = c.read("s", 0, 100)
+        sim.run(until=0.01)
+        assert not read_fut.done
+        run(sim, c.append("s", Payload.of(b"late")))
+        result = run(sim, read_fut)
+        assert result.payload.content == b"late"
+
+    def test_read_at_end_of_sealed_segment(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"xy")))
+        run(sim, c.seal_segment("s"))
+        result = run(sim, c.read("s", 2, 100))
+        assert result.end_of_segment
+
+    def test_seal_wakes_tail_readers_with_eos(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        read_fut = c.read("s", 0, 100)
+        sim.run(until=0.01)
+        run(sim, c.seal_segment("s"))
+        result = run(sim, read_fut)
+        assert result.end_of_segment
+
+    def test_historical_read_from_lts_after_eviction(self, sim, env):
+        """Data evicted from cache is transparently fetched from LTS (§4.2)."""
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"old data !")))
+        run(sim, c.storage_writer.flush_all())
+        # Evict everything evictable.
+        c.cache_manager.target_utilization = 0.0
+        c.cache_manager.advance_generation()
+        index = c.read_indexes["s"]
+        for entry in index.evictable_entries(c.storage_writer.flushed_offset("s")):
+            index.evict_entry(entry)
+        index._tail_entry = None
+        for entry in index.evictable_entries(c.storage_writer.flushed_offset("s")):
+            index.evict_entry(entry)
+        read = run(sim, c.read("s", 0, 100))
+        assert read.payload.content == b"old data !"
+
+    def test_read_offset_beyond_write_waits(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"abc")))
+        fut = c.read("s", 3, 10)
+        sim.run(until=0.05)
+        assert not fut.done
+        run(sim, c.append("s", Payload.of(b"def")))
+        assert run(sim, fut).payload.content == b"def"
+
+
+class TestDeduplication:
+    def test_duplicate_batch_detected(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        first = run(
+            sim, c.append("s", Payload.of(b"batch"), writer_id="w1", event_number=5)
+        )
+        assert not first.duplicate
+        dup = run(
+            sim, c.append("s", Payload.of(b"batch"), writer_id="w1", event_number=5)
+        )
+        assert dup.duplicate
+        assert c.get_info("s").length == 5  # appended once
+
+    def test_lower_event_number_is_duplicate(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"x"), writer_id="w1", event_number=10))
+        dup = run(sim, c.append("s", Payload.of(b"y"), writer_id="w1", event_number=7))
+        assert dup.duplicate
+
+    def test_different_writers_independent(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"a"), writer_id="w1", event_number=5))
+        result = run(sim, c.append("s", Payload.of(b"b"), writer_id="w2", event_number=5))
+        assert not result.duplicate
+
+    def test_get_attribute_handshake(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        assert c.get_attribute("s", "w1") == -1
+        run(sim, c.append("s", Payload.of(b"x"), writer_id="w1", event_number=42))
+        assert c.get_attribute("s", "w1") == 42
+
+
+class TestTables:
+    def test_put_get(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("t", is_table=True))
+        versions = run(sim, c.table_update("t", {"k": (b"v1", None)}))
+        assert versions["k"] == 0
+        assert c.table_get("t", ["k"])["k"][0] == b"v1"
+
+    def test_conditional_update(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("t", is_table=True))
+        run(sim, c.table_update("t", {"k": (b"v1", -1)}))
+        run(sim, c.table_update("t", {"k": (b"v2", 0)}))
+        fut = c.table_update("t", {"k": (b"v3", 0)})
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, ConditionalUpdateError)
+        assert c.table_get("t", ["k"])["k"][0] == b"v2"
+
+    def test_multi_key_transaction_atomic(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("t", is_table=True))
+        run(sim, c.table_update("t", {"a": (b"1", None), "b": (b"2", None)}))
+        # One bad condition aborts the whole batch.
+        fut = c.table_update("t", {"a": (b"10", 0), "b": (b"20", 99)})
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, ConditionalUpdateError)
+        assert c.table_get("t", ["a"])["a"][0] == b"1"
+
+    def test_remove_key(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("t", is_table=True))
+        run(sim, c.table_update("t", {"k": (b"v", None)}))
+        run(sim, c.table_update("t", {"k": (None, 0)}))
+        assert c.table_get("t", ["k"]) == {}
+
+    def test_table_ops_on_non_table_rejected(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("plain"))
+        fut = c.table_update("plain", {"k": (b"v", None)})
+        sim.run(until=sim.now + 1.0)
+        assert isinstance(fut.exception, StreamError)
+
+
+class TestTieringIntegration:
+    def test_appends_reach_lts(self, sim, env):
+        lts = InMemoryLTS(sim)
+        c = make_container(sim, env, lts=lts)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.synthetic(5_000)))
+        sim.run(until=sim.now + 0.5)
+        assert lts.total_bytes() == 5_000
+        assert c.storage_writer.flushed_offset("s") == 5_000
+
+    def test_wal_truncated_after_flush_and_checkpoint(self, sim, env):
+        config = ContainerConfig(
+            durable_log=DurableLogConfig(ledger_rollover_bytes=3_000),
+            storage=StorageWriterConfig(flush_threshold=500, flush_timeout=0.02),
+            checkpoint_interval_time=0.1,
+        )
+        c = make_container(sim, env, config=config)
+        run(sim, c.create_segment("s"))
+        for i in range(20):
+            run(sim, c.append("s", Payload.synthetic(1_000)))
+        sim.run(until=sim.now + 1.0)
+        # Rollover produced several ledgers; flushed + checkpointed ones die.
+        assert c.durable_log.ledger_count < 10
+
+    def test_backpressure_throttles_appends(self, sim, env):
+        slow = FileSystemLTS(
+            sim, LtsSpec(per_stream_bandwidth=1e6, aggregate_bandwidth=1e6, op_latency=0.0)
+        )
+        config = ContainerConfig(
+            storage=StorageWriterConfig(
+                flush_threshold=1_000,
+                flush_timeout=0.01,
+                backlog_high_watermark=10_000,
+                backlog_low_watermark=5_000,
+            )
+        )
+        c = make_container(sim, env, lts=slow, config=config)
+        run(sim, c.create_segment("s"))
+        futs = [c.append("s", Payload.synthetic(5_000)) for _ in range(10)]
+        sim.run(until=0.01)
+        assert c.metrics.counter("append.throttled").value > 0
+        run(sim, all_of(sim, futs), timeout=120)
+
+
+class TestRecovery:
+    def _fill(self, sim, container, events=30):
+        run(sim, container.create_segment("s"))
+        expected = b""
+        for i in range(events):
+            data = f"event-{i:03d};".encode()
+            run(
+                sim,
+                container.append("s", Payload.of(data), writer_id="w", event_number=i),
+            )
+            expected += data
+        return expected
+
+    def test_recover_rebuilds_state(self, sim, env):
+        c = make_container(sim, env)
+        expected = self._fill(sim, c)
+        length = c.get_info("s").length
+        c.shutdown()
+        c2 = make_container(sim, env, container_id=0, start=False)
+        run(sim, c2.recover())
+        assert c2.get_info("s").length == length
+        assert c2.get_attribute("s", "w") == 29
+        read = run(sim, c2.read("s", 0, 10_000))
+        assert read.payload.content == expected[: read.payload.size]
+
+    def test_recovery_with_checkpoint(self, sim, env):
+        config = ContainerConfig(
+            storage=StorageWriterConfig(flush_threshold=500, flush_timeout=0.02),
+            checkpoint_interval_time=0.05,
+        )
+        c = make_container(sim, env, config=config)
+        expected = self._fill(sim, c, events=50)
+        sim.run(until=sim.now + 0.5)  # let checkpoints + flushes happen
+        c.shutdown()
+        c2 = make_container(sim, env, config=config, start=False)
+        replayed = run(sim, c2.recover())
+        assert c2.get_info("s").length == len(expected)
+        # Table of contents preserved even with a checkpoint restore.
+        assert c2.get_attribute("s", "w") == 49
+
+    def test_recovered_container_serves_reads_from_lts(self, sim, env):
+        lts = InMemoryLTS(sim)
+        c = make_container(sim, env, lts=lts)
+        expected = self._fill(sim, c)
+        run(sim, c.storage_writer.flush_all())
+        c.shutdown()
+        c2 = make_container(sim, env, lts=lts, start=False)
+        run(sim, c2.recover())
+        read = run(sim, c2.read("s", 0, 10_000))
+        assert read.payload.content == expected[: read.payload.size]
+
+    def test_old_container_fenced_after_recovery(self, sim, env):
+        c = make_container(sim, env)
+        self._fill(sim, c, events=5)
+        c2 = make_container(sim, env, start=False)
+        run(sim, c2.recover())
+        # The zombie's next append must fail (exclusive WAL access, §4.4).
+        fut = c.append("s", Payload.of(b"zombie"))
+        sim.run(until=sim.now + 1.0)
+        assert fut.exception is not None
+
+    def test_recovery_restores_tables(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("t", is_table=True))
+        run(sim, c.table_update("t", {"k1": (b"v1", None), "k2": (b"v2", None)}))
+        run(sim, c.table_update("t", {"k1": (b"v1b", 0)}))
+        c.shutdown()
+        c2 = make_container(sim, env, start=False)
+        run(sim, c2.recover())
+        table = c2.table_get("t", ["k1", "k2"])
+        assert table["k1"][0] == b"v1b"
+        assert table["k2"][0] == b"v2"
+
+    def test_recovery_preserves_dedup_after_restart(self, sim, env):
+        c = make_container(sim, env)
+        self._fill(sim, c, events=10)
+        c.shutdown()
+        c2 = make_container(sim, env, start=False)
+        run(sim, c2.recover())
+        dup = run(
+            sim, c2.append("s", Payload.of(b"event-009;"), writer_id="w", event_number=9)
+        )
+        assert dup.duplicate
+
+    def test_recovery_preserves_seal(self, sim, env):
+        c = make_container(sim, env)
+        run(sim, c.create_segment("s"))
+        run(sim, c.append("s", Payload.of(b"x")))
+        run(sim, c.seal_segment("s"))
+        c.shutdown()
+        c2 = make_container(sim, env, start=False)
+        run(sim, c2.recover())
+        assert c2.get_info("s").sealed

@@ -1,0 +1,119 @@
+"""Randomized end-to-end property tests (DESIGN.md invariants 1-2).
+
+Each scenario interleaves event writes with chaos actions (manual scale
+ups/downs, segment-store crashes with failover) under a seeded RNG, then
+verifies the two headline guarantees of §3:
+
+  * every acknowledged event appears in the stream exactly once;
+  * events with the same routing key are read in append order, across
+    every scaling epoch the scenario produced.
+"""
+
+import random
+
+import pytest
+
+from repro.common.keyspace import KeyRange, merge_ranges, split_range
+from repro.pravega import ScalingPolicy, StreamConfiguration
+from repro.sim import Simulator
+
+from helpers import build_cluster, drain_reader, make_stream, run
+
+
+def _active_records(cluster, scope, stream):
+    metadata = cluster.controller.streams[f"{scope}/{stream}"]
+    return sorted(metadata.active_segments(), key=lambda r: r.key_range.low)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 99])
+def test_exactly_once_and_order_under_chaos(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    cluster = build_cluster(sim)
+    client = make_stream(
+        sim,
+        cluster,
+        stream="chaos",
+        config=StreamConfiguration(scaling=ScalingPolicy.fixed(2)),
+    )
+    writer = cluster.create_writer("bench-0", "test", "chaos")
+    keys = [f"key-{i}" for i in range(6)]
+    sequence = {key: 0 for key in keys}
+    written = []
+    crashed_once = False
+
+    def write_burst(n):
+        futs = []
+        for _ in range(n):
+            key = rng.choice(keys)
+            value = f"{key}:{sequence[key]:05d}"
+            sequence[key] += 1
+            written.append(value)
+            futs.append(writer.write_event(value.encode(), routing_key=key))
+        return futs
+
+    all_futs = []
+    for step in range(8):
+        all_futs += write_burst(rng.randint(5, 20))
+        action = rng.random()
+        if action < 0.35:
+            # Scale up: split a random active segment.
+            records = _active_records(cluster, "test", "chaos")
+            victim = rng.choice(records)
+            run(
+                sim,
+                client.scale_stream(
+                    "test", "chaos",
+                    [victim.segment_number],
+                    split_range(victim.key_range, 2),
+                ),
+                timeout=300,
+            )
+        elif action < 0.55:
+            # Scale down: merge two adjacent active segments.
+            records = _active_records(cluster, "test", "chaos")
+            if len(records) >= 2:
+                i = rng.randrange(len(records) - 1)
+                pair = records[i : i + 2]
+                run(
+                    sim,
+                    client.scale_stream(
+                        "test", "chaos",
+                        [r.segment_number for r in pair],
+                        [merge_ranges([r.key_range for r in pair])],
+                    ),
+                    timeout=300,
+                )
+        elif action < 0.7 and not crashed_once:
+            # Crash a segment store (containers fail over + fence).
+            alive = [
+                n for n, s in cluster.store_cluster.stores.items() if s.alive
+            ]
+            if len(alive) > 2:
+                crashed_once = True
+                run(sim, cluster.store_cluster.fail_store(rng.choice(alive)),
+                    timeout=600)
+        sim.run(until=sim.now + 0.05)
+
+    run(sim, writer.flush(), timeout=600)
+    failed = sum(1 for f in all_futs if f.done and f.exception is not None)
+    assert failed == 0, f"{failed} writes failed permanently"
+
+    group = run(sim, cluster.create_reader_group("bench-1", "g", "test", "chaos"))
+    reader = cluster.create_reader("bench-1", "r0", group)
+    run(sim, reader.join())
+    batches = drain_reader(sim, reader, len(written), timeout=600)
+    events = [e.decode() for b in batches for e in b.events]
+
+    # Exactly once: every acknowledged event appears exactly one time.
+    assert sorted(events) == sorted(written)
+    # Per-key order across all scale epochs.
+    per_key = {}
+    for event in events:
+        key, n = event.split(":")
+        per_key.setdefault(key, []).append(int(n))
+    for key, numbers in per_key.items():
+        assert numbers == sorted(numbers), f"order violated for {key}"
+    # Key-space invariant held to the end.
+    metadata = cluster.controller.streams["test/chaos"]
+    assert metadata.check_key_space_invariant()

@@ -1,0 +1,105 @@
+"""Failure-injection tests across the stack: bookie crashes during
+ingestion, WAL quorum loss, consumer-side broker crashes."""
+
+import pytest
+
+from repro.common.errors import BrokerCrashedError
+from repro.common.payload import Payload
+from repro.sim import Simulator, all_of
+
+from helpers import build_cluster, drain_reader, make_stream, run
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def cluster(sim):
+    return build_cluster(sim)
+
+
+class TestBookieFailures:
+    def test_one_bookie_crash_is_transparent(self, sim, cluster):
+        """ackQuorum=2 of 3: losing one bookie never surfaces to writers."""
+        make_stream(sim, cluster, stream="b1")
+        writer = cluster.create_writer("bench-0", "test", "b1")
+        futs = [writer.write_event(f"a{i}".encode(), routing_key="k") for i in range(10)]
+        # Crash one bookie mid-stream.
+        next(iter(cluster.bk_cluster.bookies.values())).crash()
+        futs += [writer.write_event(f"b{i}".encode(), routing_key="k") for i in range(10)]
+        run(sim, writer.flush(), timeout=120)
+        assert all(f.exception is None for f in futs if f.done)
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "b1"))
+        reader = cluster.create_reader("bench-0", "r", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 20, timeout=120)
+        assert sum(b.event_count for b in batches) == 20
+
+    def test_quorum_loss_shuts_the_container_down(self, sim, cluster):
+        """Losing 2 of 3 bookies makes WAL appends impossible: the
+        container fail-stops (§4.4) rather than acknowledging unsafely."""
+        make_stream(sim, cluster, stream="b2")
+        writer = cluster.create_writer("bench-0", "test", "b2")
+        run(sim, writer.write_event(b"pre", routing_key="k"))
+        bookies = list(cluster.bk_cluster.bookies.values())
+        bookies[0].crash()
+        bookies[1].crash()
+        futs = [writer.write_event(b"doomed", routing_key="k") for _ in range(3)]
+        sim.run(until=sim.now + 10)
+        store = cluster.store_cluster.store_for_segment("test/b2/0")
+        container = store.container_for("test/b2/0")
+        assert not container.online
+
+    def test_restarted_bookie_serves_journaled_entries(self, sim, cluster):
+        make_stream(sim, cluster, stream="b3")
+        writer = cluster.create_writer("bench-0", "test", "b3")
+        run(sim, writer.write_event(b"durable", routing_key="k"))
+        bookie = next(iter(cluster.bk_cluster.bookies.values()))
+        stored = bookie.stored_bytes()
+        bookie.crash()
+        bookie.restart()
+        assert bookie.stored_bytes() == stored  # journaled data survived
+
+
+class TestPulsarConsumerFailures:
+    def test_consumer_sees_broker_crash(self, sim):
+        from repro.bookkeeper import Bookie, BookKeeperCluster
+        from repro.lts import InMemoryLTS
+        from repro.pulsar import (
+            PulsarBroker,
+            PulsarBrokerConfig,
+            PulsarCluster,
+            PulsarConsumer,
+        )
+        from repro.sim import Disk, Network
+
+        network = Network(sim)
+        bk = BookKeeperCluster(sim, network)
+        lts = InMemoryLTS(sim)
+        pulsar = PulsarCluster(sim, network, bk, lts)
+        for i in range(3):
+            name = f"p-{i}"
+            bk.add_bookie(Bookie(sim, name, Disk(sim)))
+            pulsar.add_broker(PulsarBroker(sim, name, network, bk, lts))
+        pulsar.create_topic("t", 1)
+        consumer = PulsarConsumer(sim, pulsar, "t", "client")
+        receive = consumer.receive()
+        sim.run(until=sim.now + 0.01)
+        pulsar.broker_for("t-0").crash()
+        sim.run(until=sim.now + 1)
+        assert isinstance(receive.exception, BrokerCrashedError)
+
+
+class TestZookeeperSessions:
+    def test_container_survives_unrelated_session_expiry(self, sim, cluster):
+        """Expiring a random client session must not disturb the data path."""
+        make_stream(sim, cluster, stream="z1")
+        observer = cluster.zk_service.connect("random-observer")
+        run(sim, observer.create("/observer", ephemeral=True))
+        cluster.zk_service.expire_session(observer.session_id)
+        writer = cluster.create_writer("bench-0", "test", "z1")
+        run(sim, writer.write_event(b"fine", routing_key="k"))
+        run(sim, writer.flush())
+        assert writer.events_written == 1

@@ -1,0 +1,226 @@
+"""Tests for the Kafka baseline: logs, replication, durability modes,
+producer batching (linger/size/sticky), consumer groups."""
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.kafka import (
+    KafkaBroker,
+    KafkaCluster,
+    KafkaConsumer,
+    KafkaConsumerGroup,
+    KafkaProducer,
+    KafkaProducerConfig,
+    TopicPartition,
+)
+from repro.sim import Network, Simulator, all_of
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def make_cluster(sim, brokers=3, flush=False, **kwargs):
+    network = Network(sim)
+    cluster = KafkaCluster(sim, network, **kwargs)
+    for i in range(brokers):
+        cluster.add_broker(
+            KafkaBroker(sim, f"broker-{i}", network, flush_every_message=flush)
+        )
+    return cluster
+
+
+def run(sim, fut, timeout=60.0):
+    return sim.run_until_complete(fut, timeout=timeout)
+
+
+class TestTopicAndReplication:
+    def test_create_topic_assigns_replicas(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", partitions=4)
+        for p in range(4):
+            tp = TopicPartition("t", p)
+            assert len(cluster.assignments[tp]) == 3
+
+    def test_produce_replicates_to_min_insync(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        run(sim, cluster.produce("client", tp, Payload.synthetic(100), 1))
+        sim.run(until=sim.now + 0.1)
+        replicated = sum(
+            1
+            for name in cluster.assignments[tp]
+            if cluster.brokers[name].logs[tp].leo == 1
+        )
+        assert replicated >= 2
+
+    def test_offsets_are_sequential(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        for i in range(5):
+            run(sim, cluster.produce("client", tp, Payload.synthetic(10), 2))
+        assert cluster.leader(tp).logs[tp].leo == 10
+
+    def test_one_follower_down_still_acks(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        cluster.brokers[cluster.assignments[tp][2]].crash()
+        run(sim, cluster.produce("client", tp, Payload.synthetic(10), 1))
+
+    def test_insufficient_isr_fails(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        cluster.brokers[cluster.assignments[tp][1]].crash()
+        cluster.brokers[cluster.assignments[tp][2]].crash()
+        fut = cluster.produce("client", tp, Payload.synthetic(10), 1)
+        sim.run(until=sim.now + 1)
+        assert fut.exception is not None
+
+    def test_idempotent_producer_dedup(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        run(sim, cluster.produce("c", tp, Payload.synthetic(10), 1, "p1", 0))
+        run(sim, cluster.produce("c", tp, Payload.synthetic(10), 1, "p1", 0))
+        assert cluster.leader(tp).logs[tp].leo == 1
+
+
+class TestDurability:
+    def test_no_flush_acks_from_page_cache(self, sim):
+        fast = make_cluster(sim, flush=False)
+        fast.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        run(sim, fast.produce("client", tp, Payload.synthetic(1000), 1))
+        no_flush_time = sim.now
+
+        sim2 = Simulator()
+        slow = make_cluster(sim2, flush=True)
+        slow.create_topic("t", 1)
+        sim2.run_until_complete(
+            slow.produce("client", TopicPartition("t", 0), Payload.synthetic(1000), 1)
+        )
+        assert sim2.now > no_flush_time
+
+    def test_flush_mode_writes_synchronously(self, sim):
+        cluster = make_cluster(sim, flush=True)
+        cluster.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        run(sim, cluster.produce("client", tp, Payload.synthetic(100), 1))
+        leader = cluster.leader(tp)
+        assert leader.disk.bytes_written > 0  # hit the drive, not just cache
+
+
+class TestProducer:
+    def test_batches_by_linger(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        producer = KafkaProducer(
+            sim, cluster, "t", "client", KafkaProducerConfig(linger=5e-3)
+        )
+        futs = [producer.send(100) for _ in range(10)]
+        run(sim, all_of(sim, futs))
+        # All 10 records coalesced into one batch => one log batch.
+        assert len(cluster.leader(TopicPartition("t", 0)).logs[TopicPartition("t", 0)].batches) == 1
+
+    def test_batch_closes_at_size_limit(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        producer = KafkaProducer(
+            sim, cluster, "t", "client",
+            KafkaProducerConfig(batch_size=1_000, linger=1.0),
+        )
+        futs = [producer.send(400) for _ in range(4)]
+        run(sim, all_of(sim, futs), timeout=10)
+        tp = TopicPartition("t", 0)
+        assert len(cluster.leader(tp).logs[tp].batches) >= 2
+
+    def test_keys_route_deterministically(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 8)
+        producer = KafkaProducer(sim, cluster, "t", "client")
+        first = run(sim, producer.send(10, key="my-key"))
+        second = run(sim, producer.send(10, key="my-key"))
+        assert first == second
+
+    def test_random_keys_spread_batches_thin(self, sim):
+        """The Fig. 9 mechanism: with random keys, per-partition batches
+        carry few records; without keys (sticky), batches are full."""
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 16)
+        config = KafkaProducerConfig(linger=1e-3)
+        keyed = KafkaProducer(sim, cluster, "t", "client", config)
+        futs = [keyed.send(100, key=f"key-{i}") for i in range(160)]
+        run(sim, all_of(sim, futs))
+        keyed_batches = sum(
+            len(cluster.leader(TopicPartition("t", p)).logs[TopicPartition("t", p)].batches)
+            for p in range(16)
+        )
+
+        sim2 = Simulator()
+        cluster2 = make_cluster(sim2)
+        cluster2.create_topic("t", 16)
+        sticky = KafkaProducer(sim2, cluster2, "t", "client", config)
+        futs = [sticky.send(100) for _ in range(160)]
+        sim2.run_until_complete(all_of(sim2, futs))
+        sticky_batches = sum(
+            len(cluster2.leader(TopicPartition("t", p)).logs[TopicPartition("t", p)].batches)
+            for p in range(16)
+        )
+        assert sticky_batches < keyed_batches
+
+    def test_flush_drains_everything(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 4)
+        producer = KafkaProducer(sim, cluster, "t", "client")
+        for i in range(50):
+            producer.send(100, key=f"k{i}")
+        run(sim, producer.flush())
+        total = sum(
+            cluster.leader(TopicPartition("t", p)).logs[TopicPartition("t", p)].leo
+            for p in range(4)
+        )
+        assert total == 50
+
+
+class TestConsumer:
+    def test_consume_round_trip(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 2)
+        producer = KafkaProducer(sim, cluster, "t", "client")
+        for i in range(20):
+            producer.send(100, key=f"k{i}")
+        run(sim, producer.flush())
+        group = KafkaConsumerGroup(cluster, "t", "g1")
+        consumer = KafkaConsumer(sim, cluster, group, "client2")
+        total = 0
+        while total < 20:
+            batches = run(sim, consumer.poll())
+            total += sum(b.record_count for b in batches)
+        assert total == 20
+
+    def test_partitions_split_across_group(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 4)
+        group = KafkaConsumerGroup(cluster, "t", "g1")
+        first = KafkaConsumer(sim, cluster, group, "h1")
+        second = KafkaConsumer(sim, cluster, group, "h2")
+        assert sorted(first.assigned + second.assigned) == [0, 1, 2, 3]
+        assert set(first.assigned).isdisjoint(second.assigned)
+
+    def test_long_poll_waits_for_data(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        group = KafkaConsumerGroup(cluster, "t", "g1")
+        consumer = KafkaConsumer(sim, cluster, group, "client")
+        poll = consumer.poll()
+        sim.run(until=0.01)
+        assert not poll.done
+        producer = KafkaProducer(sim, cluster, "t", "client2")
+        producer.send(100)
+        batches = run(sim, poll)
+        assert sum(b.record_count for b in batches) == 1

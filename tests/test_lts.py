@@ -1,0 +1,130 @@
+"""Tests for the long-term storage backends."""
+
+import pytest
+
+from repro.common.errors import NoSuchChunkError, StorageError
+from repro.common.payload import Payload
+from repro.lts import FileSystemLTS, InMemoryLTS, LtsSpec, NoOpLTS, ObjectStoreLTS
+from repro.sim import Simulator, all_of
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def run(sim, fut):
+    return sim.run_until_complete(fut)
+
+
+class TestChunkSemantics:
+    def test_write_read_roundtrip(self, sim):
+        lts = InMemoryLTS(sim)
+        run(sim, lts.write_chunk("seg/chunk-0", Payload.of(b"hello world")))
+        data = run(sim, lts.read_chunk("seg/chunk-0"))
+        assert data.content == b"hello world"
+
+    def test_ranged_read(self, sim):
+        lts = InMemoryLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.of(b"0123456789")))
+        piece = run(sim, lts.read_chunk("c", offset=2, length=5))
+        assert piece.content == b"23456"
+
+    def test_ranged_read_clamps_to_end(self, sim):
+        lts = InMemoryLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.of(b"0123456789")))
+        piece = run(sim, lts.read_chunk("c", offset=8, length=100))
+        assert piece.content == b"89"
+
+    def test_read_past_end_rejected(self, sim):
+        lts = InMemoryLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.of(b"ab")))
+        with pytest.raises(StorageError):
+            run(sim, lts.read_chunk("c", offset=5))
+
+    def test_chunks_are_write_once(self, sim):
+        lts = InMemoryLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.of(b"v1")))
+        with pytest.raises(StorageError):
+            run(sim, lts.write_chunk("c", Payload.of(b"v2")))
+
+    def test_read_missing_chunk(self, sim):
+        lts = InMemoryLTS(sim)
+        with pytest.raises(NoSuchChunkError):
+            run(sim, lts.read_chunk("nope"))
+
+    def test_delete(self, sim):
+        lts = InMemoryLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.of(b"x")))
+        run(sim, lts.delete_chunk("c"))
+        assert not lts.exists("c")
+        with pytest.raises(NoSuchChunkError):
+            run(sim, lts.delete_chunk("c"))
+
+    def test_list_chunks_by_prefix(self, sim):
+        lts = InMemoryLTS(sim)
+        for name in ("a/0", "a/1", "b/0"):
+            run(sim, lts.write_chunk(name, Payload.of(b"x")))
+        assert lts.list_chunks("a/") == ["a/0", "a/1"]
+        assert lts.total_bytes() == 3
+
+
+class TestTransferModel:
+    def test_single_stream_limited_to_per_stream_bandwidth(self, sim):
+        lts = FileSystemLTS(sim)
+        size = 160 * 1024 * 1024  # ~1 second at 160MB/s
+        run(sim, lts.write_chunk("big", Payload.synthetic(size)))
+        elapsed = sim.now
+        expected = size / lts.spec.per_stream_bandwidth
+        assert elapsed == pytest.approx(expected, rel=0.1)
+
+    def test_parallel_streams_exceed_single_stream_throughput(self, sim):
+        """The mechanism behind Fig. 12: parallel chunk reads reach several
+        times the single-transfer bandwidth."""
+        lts = FileSystemLTS(sim)
+        size = 32 * 1024 * 1024
+        writes = [lts.write_chunk(f"c{i}", Payload.synthetic(size)) for i in range(8)]
+        run(sim, all_of(sim, writes))
+        write_time = sim.now
+        reads = [lts.read_chunk(f"c{i}") for i in range(8)]
+        run(sim, all_of(sim, reads))
+        read_time = sim.now - write_time
+        aggregate_rate = 8 * size / read_time
+        assert aggregate_rate > 3 * lts.spec.per_stream_bandwidth
+        assert aggregate_rate <= lts.spec.aggregate_bandwidth * 1.05
+
+    def test_aggregate_bandwidth_caps_total(self, sim):
+        spec = LtsSpec(per_stream_bandwidth=100e6, aggregate_bandwidth=200e6, op_latency=0.0)
+        lts = FileSystemLTS(sim, spec)
+        size = 20 * 1024 * 1024
+        writes = [lts.write_chunk(f"c{i}", Payload.synthetic(size)) for i in range(10)]
+        run(sim, all_of(sim, writes))
+        aggregate_rate = 10 * size / sim.now
+        assert aggregate_rate <= 200e6 * 1.05
+
+    def test_object_store_has_higher_latency_than_filesystem(self, sim):
+        efs = FileSystemLTS(sim)
+        s3 = ObjectStoreLTS(sim)
+        assert s3.spec.op_latency > efs.spec.op_latency
+
+    def test_byte_accounting(self, sim):
+        lts = FileSystemLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.synthetic(1000)))
+        run(sim, lts.read_chunk("c"))
+        assert lts.bytes_written == 1000
+        assert lts.bytes_read == 1000
+
+
+class TestNoOpLts:
+    def test_accepts_writes_without_content(self, sim):
+        lts = NoOpLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.of(b"real bytes")))
+        assert lts.exists("c")
+        assert lts.chunk_size("c") == 10
+        data = run(sim, lts.read_chunk("c"))
+        assert data.is_synthetic and data.size == 10
+
+    def test_writes_are_nearly_free(self, sim):
+        lts = NoOpLTS(sim)
+        run(sim, lts.write_chunk("c", Payload.synthetic(10**9)))
+        assert sim.now < 1e-3

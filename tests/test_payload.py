@@ -1,0 +1,69 @@
+"""Tests for the Payload abstraction (real vs synthetic bytes)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.payload import Payload
+
+
+class TestPayload:
+    def test_of_real_bytes(self):
+        p = Payload.of(b"abc")
+        assert p.size == 3
+        assert p.content == b"abc"
+        assert not p.is_synthetic
+
+    def test_synthetic(self):
+        p = Payload.synthetic(100)
+        assert p.size == 100
+        assert p.content is None
+        assert p.is_synthetic
+
+    def test_empty(self):
+        p = Payload.empty()
+        assert p.size == 0 and p.content == b""
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(5, b"abc")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Payload.synthetic(-1)
+
+    def test_slice_real(self):
+        p = Payload.of(b"0123456789")
+        assert p.slice(2, 5).content == b"234"
+
+    def test_slice_synthetic(self):
+        p = Payload.synthetic(10)
+        piece = p.slice(2, 5)
+        assert piece.size == 3 and piece.is_synthetic
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Payload.of(b"ab").slice(1, 5)
+
+    def test_concat_real(self):
+        p = Payload.concat([Payload.of(b"ab"), Payload.of(b"cd")])
+        assert p.content == b"abcd"
+
+    def test_concat_mixed_becomes_synthetic(self):
+        p = Payload.of(b"ab") + Payload.synthetic(3)
+        assert p.size == 5 and p.is_synthetic
+
+    def test_require_content(self):
+        assert Payload.of(b"x").require_content() == b"x"
+        with pytest.raises(ValueError):
+            Payload.synthetic(1).require_content()
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_concat_matches_bytes_concat(self, a, b):
+        assert (Payload.of(a) + Payload.of(b)).content == a + b
+
+    @given(st.binary(min_size=1, max_size=64), st.data())
+    def test_slice_matches_bytes_slice(self, data, draw):
+        start = draw.draw(st.integers(0, len(data)))
+        end = draw.draw(st.integers(start, len(data)))
+        assert Payload.of(data).slice(start, end).content == data[start:end]

@@ -1,0 +1,330 @@
+"""End-to-end Pravega tests: write/read across the full stack, stream
+scaling with per-key order, reader-group coordination, store failover,
+auto-scaling policies and retention."""
+
+import pytest
+
+from repro.common.keyspace import KeyRange, split_range
+from repro.pravega import ScalingPolicy, StreamConfiguration, RetentionPolicy
+from repro.pravega.client.reader import ReaderConfig
+from repro.sim import Simulator, all_of
+
+from helpers import build_cluster, drain_reader, make_stream, run
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def cluster(sim):
+    return build_cluster(sim)
+
+
+class TestWriteReadEndToEnd:
+    def test_roundtrip_preserves_content(self, sim, cluster):
+        make_stream(sim, cluster)
+        writer = cluster.create_writer("bench-0", "test", "stream")
+        payloads = [f"event-{i}".encode() for i in range(50)]
+        for data in payloads:
+            writer.write_event(data, routing_key="k")
+        run(sim, writer.flush())
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "stream"))
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 50)
+        events = [e for b in batches for e in b.events]
+        assert events == payloads  # same key: exact append order
+
+    def test_multiple_segments_roundtrip(self, sim, cluster):
+        config = StreamConfiguration(scaling=ScalingPolicy.fixed(4))
+        make_stream(sim, cluster, stream="wide", config=config)
+        writer = cluster.create_writer("bench-0", "test", "wide")
+        for i in range(200):
+            writer.write_event(f"e{i:04d}".encode(), routing_key=f"key-{i % 16}")
+        run(sim, writer.flush())
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "wide"))
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 200)
+        events = sorted(e for b in batches for e in b.events)
+        assert events == sorted(f"e{i:04d}".encode() for i in range(200))
+
+    def test_per_key_order_with_parallel_segments(self, sim, cluster):
+        config = StreamConfiguration(scaling=ScalingPolicy.fixed(4))
+        make_stream(sim, cluster, stream="ordered", config=config)
+        writer = cluster.create_writer("bench-0", "test", "ordered")
+        sequence = {}
+        for i in range(300):
+            key = f"key-{i % 7}"
+            n = sequence.get(key, 0)
+            sequence[key] = n + 1
+            writer.write_event(f"{key}:{n:04d}".encode(), routing_key=key)
+        run(sim, writer.flush())
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "ordered"))
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 300)
+        per_key = {}
+        for batch in batches:
+            for event in batch.events:
+                key, n = event.decode().split(":")
+                per_key.setdefault(key, []).append(int(n))
+        for key, numbers in per_key.items():
+            assert numbers == sorted(numbers), f"order broken for {key}"
+
+    def test_two_readers_split_segments_no_duplicates(self, sim, cluster):
+        config = StreamConfiguration(scaling=ScalingPolicy.fixed(4))
+        make_stream(sim, cluster, stream="shared", config=config)
+        writer = cluster.create_writer("bench-0", "test", "shared")
+        for i in range(200):
+            writer.write_event(f"e{i:04d}".encode(), routing_key=f"k{i % 32}")
+        run(sim, writer.flush())
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "shared"))
+        readers = [
+            cluster.create_reader("bench-1", f"r{j}", group) for j in range(2)
+        ]
+        for reader in readers:
+            run(sim, reader.join())
+        assert set(readers[0].assigned_segments).isdisjoint(
+            readers[1].assigned_segments
+        )
+        seen = []
+        while len(seen) < 200:
+            for reader in readers:
+                if reader.assigned_segments:
+                    batch = run(sim, reader.read_next())
+                    seen.extend(batch.events)
+        assert sorted(seen) == sorted(f"e{i:04d}".encode() for i in range(200))
+        assert len(seen) == len(set(seen))  # exactly once
+
+
+class TestManualScaling:
+    def test_scale_up_writer_follows_successors(self, sim, cluster):
+        client = make_stream(sim, cluster, stream="scaling")
+        writer = cluster.create_writer("bench-0", "test", "scaling")
+        for i in range(50):
+            writer.write_event(f"before-{i:03d}".encode(), routing_key="k")
+        run(sim, writer.flush())
+        # Split segment 0 into two.
+        run(
+            sim,
+            client.scale_stream(
+                "test", "scaling", [0], split_range(KeyRange.full(), 2)
+            ),
+        )
+        for i in range(50):
+            writer.write_event(f"after-{i:03d}".encode(), routing_key="k")
+        run(sim, writer.flush())
+        locations = run(sim, client.get_active_segments("test", "scaling"))
+        assert sorted(l.segment_number for l in locations) == [1, 2]
+
+    def test_order_preserved_across_scale_up(self, sim, cluster):
+        client = make_stream(sim, cluster, stream="scale-order")
+        writer = cluster.create_writer("bench-0", "test", "scale-order")
+        for i in range(30):
+            writer.write_event(f"k:{i:04d}".encode(), routing_key="k")
+        run(sim, writer.flush())
+        run(
+            sim,
+            client.scale_stream(
+                "test", "scale-order", [0], split_range(KeyRange.full(), 2)
+            ),
+        )
+        for i in range(30, 60):
+            writer.write_event(f"k:{i:04d}".encode(), routing_key="k")
+        run(sim, writer.flush())
+        group = run(
+            sim, cluster.create_reader_group("bench-0", "g", "test", "scale-order")
+        )
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 60)
+        numbers = [
+            int(e.decode().split(":")[1]) for b in batches for e in b.events
+        ]
+        assert numbers == sorted(numbers)
+
+    def test_scale_down_merge_holds_successor(self, sim, cluster):
+        """Fig. 2c: after a merge, the successor is not readable until all
+        predecessors are fully read."""
+        config = StreamConfiguration(scaling=ScalingPolicy.fixed(2))
+        client = make_stream(sim, cluster, stream="merging", config=config)
+        writer = cluster.create_writer("bench-0", "test", "merging")
+        for i in range(40):
+            writer.write_event(f"e{i:03d}".encode(), routing_key=f"k{i % 8}")
+        run(sim, writer.flush())
+        # Merge segments 0 and 1 into one successor.
+        run(
+            sim,
+            client.scale_stream("test", "merging", [0, 1], [KeyRange.full()]),
+        )
+        for i in range(40, 60):
+            writer.write_event(f"e{i:03d}".encode(), routing_key=f"k{i % 8}")
+        run(sim, writer.flush())
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "merging"))
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 60)
+        events = [e for b in batches for e in b.events]
+        assert len(events) == 60
+        # Everything from the predecessors arrives before the successor data.
+        positions = {e: i for i, e in enumerate(events)}
+        before = max(positions[f"e{i:03d}".encode()] for i in range(40))
+        after = min(positions[f"e{i:03d}".encode()] for i in range(40, 60))
+        assert before < after
+
+    def test_reader_group_state_invariants_through_scaling(self, sim, cluster):
+        client = make_stream(sim, cluster, stream="inv")
+        writer = cluster.create_writer("bench-0", "test", "inv")
+        for i in range(20):
+            writer.write_event(b"x" * 10, routing_key=f"k{i}")
+        run(sim, writer.flush())
+        run(sim, client.scale_stream("test", "inv", [0], split_range(KeyRange.full(), 3)))
+        for i in range(20):
+            writer.write_event(b"y" * 10, routing_key=f"k{i}")
+        run(sim, writer.flush())
+        group = run(sim, cluster.create_reader_group("bench-0", "g", "test", "inv"))
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        drain_reader(sim, reader, 40)
+        state = run(sim, group.state())
+        group.check_invariants(state)
+
+
+class TestAutoScaling:
+    def test_hot_stream_splits_automatically(self, sim, cluster):
+        config = StreamConfiguration(
+            scaling=ScalingPolicy.by_event_rate(100, scale_factor=2, min_segments=1)
+        )
+        make_stream(sim, cluster, stream="auto", config=config)
+        writer = cluster.create_writer("bench-0", "test", "auto")
+
+        def load():
+            # ~1000 events/s for 30 simulated seconds, well above target 100.
+            for _ in range(3000):
+                writer.write_synthetic_events(10, 100, routing_key=None)
+                yield sim.timeout(0.01)
+
+        run(sim, sim.process(load()), timeout=120)
+        run(sim, writer.flush())
+        segments = cluster.controller.get_active_segments("test", "auto")
+        assert len(segments) > 1
+        assert any(kind == "scale-up" for _, _, kind, _ in [
+            (e[0], e[1], e[2], e[3]) for e in cluster.controller.scale_events
+        ])
+
+    def test_cold_stream_merges_down(self, sim, cluster):
+        config = StreamConfiguration(
+            scaling=ScalingPolicy.by_event_rate(1000, min_segments=1)
+        )
+        client = make_stream(sim, cluster, stream="cold", config=config)
+        # Manually scale up first, then leave the stream idle.
+        run(sim, client.scale_stream("test", "cold", [0], split_range(KeyRange.full(), 2)))
+        writer = cluster.create_writer("bench-0", "test", "cold")
+
+        def trickle():
+            for _ in range(400):
+                writer.write_synthetic_events(1, 100, routing_key=None)
+                yield sim.timeout(0.1)
+
+        run(sim, sim.process(trickle()), timeout=300)
+        segments = cluster.controller.get_active_segments("test", "cold")
+        assert len(segments) == 1
+        assert any(e[2] == "scale-down" for e in cluster.controller.scale_events)
+
+    def test_key_space_partition_after_autoscale(self, sim, cluster):
+        config = StreamConfiguration(scaling=ScalingPolicy.by_event_rate(50))
+        make_stream(sim, cluster, stream="part", config=config)
+        writer = cluster.create_writer("bench-0", "test", "part")
+
+        def load():
+            for _ in range(2000):
+                writer.write_synthetic_events(5, 100, routing_key=None)
+                yield sim.timeout(0.01)
+
+        run(sim, sim.process(load()), timeout=120)
+        metadata = cluster.controller.streams["test/part"]
+        assert metadata.check_key_space_invariant()
+
+
+class TestFailover:
+    def test_store_crash_containers_recovered(self, sim, cluster):
+        make_stream(sim, cluster, stream="ha")
+        writer = cluster.create_writer("bench-0", "test", "ha")
+        payloads = [f"pre-{i:03d}".encode() for i in range(30)]
+        for data in payloads:
+            writer.write_event(data, routing_key="k")
+        run(sim, writer.flush())
+        # Crash the store owning the stream's only segment.
+        victim = cluster.store_cluster.store_for_segment("test/ha/0").name
+        run(sim, cluster.store_cluster.fail_store(victim), timeout=300)
+        # The segment is served by a surviving store with identical content.
+        new_store = cluster.store_cluster.store_for_segment("test/ha/0")
+        assert new_store.name != victim
+        result = run(sim, new_store.rpc_read("bench-0", "test/ha/0", 0, 10_000))
+        from repro.pravega.client.serializers import frame_event
+
+        expected = b"".join(frame_event(p).content for p in payloads)
+        assert result.payload.content == expected
+
+    def test_writes_resume_after_failover(self, sim, cluster):
+        make_stream(sim, cluster, stream="resume")
+        writer = cluster.create_writer("bench-0", "test", "resume")
+        for i in range(10):
+            writer.write_event(f"a{i}".encode(), routing_key="k")
+        run(sim, writer.flush())
+        victim = cluster.store_cluster.store_for_segment("test/resume/0").name
+        run(sim, cluster.store_cluster.fail_store(victim), timeout=300)
+        for i in range(10):
+            writer.write_event(f"b{i}".encode(), routing_key="k")
+        run(sim, writer.flush(), timeout=300)
+        store = cluster.store_cluster.store_for_segment("test/resume/0")
+        info = run(sim, store.rpc_get_info("bench-0", "test/resume/0"))
+        # 20 events of 2 bytes + 8-byte headers each, no duplicates.
+        assert info.length == 20 * 10
+
+    def test_no_duplicates_through_failover(self, sim, cluster):
+        make_stream(sim, cluster, stream="exactly-once")
+        writer = cluster.create_writer("bench-0", "test", "exactly-once")
+        futs = [
+            writer.write_event(f"e{i:03d}".encode(), routing_key="k")
+            for i in range(20)
+        ]
+        victim = cluster.store_cluster.store_for_segment("test/exactly-once/0").name
+        run(sim, cluster.store_cluster.fail_store(victim), timeout=300)
+        run(sim, writer.flush(), timeout=300)
+        group = run(
+            sim, cluster.create_reader_group("bench-0", "g", "test", "exactly-once")
+        )
+        reader = cluster.create_reader("bench-0", "r0", group)
+        run(sim, reader.join())
+        batches = drain_reader(sim, reader, 20, timeout=300)
+        events = [e for b in batches for e in b.events]
+        assert sorted(set(events)) == sorted(events)
+        assert events == [f"e{i:03d}".encode() for i in range(20)]
+
+
+class TestRetention:
+    def test_size_retention_truncates_stream(self, sim, cluster):
+        config = StreamConfiguration(
+            scaling=ScalingPolicy.fixed(1),
+            retention=RetentionPolicy.by_size(2_000),
+        )
+        make_stream(sim, cluster, stream="bounded", config=config)
+        writer = cluster.create_writer("bench-0", "test", "bounded")
+
+        def load():
+            for i in range(100):
+                writer.write_event(b"z" * 92, routing_key="k")  # 100B framed
+                yield sim.timeout(0.01)
+
+        run(sim, sim.process(load()))
+        run(sim, writer.flush())
+        sim.run(until=sim.now + 65)  # let the retention loop fire
+        store = cluster.store_cluster.store_for_segment("test/bounded/0")
+        info = run(sim, store.rpc_get_info("bench-0", "test/bounded/0"))
+        retained = info.length - info.start_offset
+        assert retained <= 2_500  # bounded (one enforcement granularity)
+        assert info.start_offset > 0

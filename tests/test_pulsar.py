@@ -1,0 +1,212 @@
+"""Tests for the Pulsar baseline: publish path, batching modes, ledger
+rollover + offloading (no backpressure), dispatch latency floor,
+memory-pressure crash model."""
+
+import pytest
+
+from repro.common.errors import BrokerCrashedError
+from repro.common.payload import Payload
+from repro.bookkeeper import Bookie, BookKeeperCluster
+from repro.lts import FileSystemLTS, InMemoryLTS, LtsSpec
+from repro.pulsar import (
+    PulsarBroker,
+    PulsarBrokerConfig,
+    PulsarCluster,
+    PulsarConsumer,
+    PulsarProducer,
+    PulsarProducerConfig,
+)
+from repro.sim import Disk, Network, Simulator, all_of
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def make_cluster(sim, lts=None, config=None, brokers=3):
+    network = Network(sim)
+    bk = BookKeeperCluster(sim, network)
+    lts = lts or InMemoryLTS(sim)
+    cluster = PulsarCluster(sim, network, bk, lts, config)
+    for i in range(brokers):
+        name = f"pulsar-{i}"
+        bk.add_bookie(Bookie(sim, name, Disk(sim)))
+        cluster.add_broker(
+            PulsarBroker(sim, name, network, bk, lts, config or cluster.config)
+        )
+    return cluster
+
+
+def run(sim, fut, timeout=120.0):
+    return sim.run_until_complete(fut, timeout=timeout)
+
+
+class TestPublish:
+    def test_publish_and_read_roundtrip(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(sim, cluster, "t", "client")
+        futs = [producer.send(100) for _ in range(10)]
+        run(sim, all_of(sim, futs))
+        consumer = PulsarConsumer(sim, cluster, "t", "client2")
+        total = 0
+        while total < 10:
+            batch = run(sim, consumer.receive())
+            total += batch.record_count
+        assert total == 10
+
+    def test_entries_are_batches(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(
+            sim, cluster, "t", "client", PulsarProducerConfig(batch_delay=5e-3)
+        )
+        futs = [producer.send(100) for _ in range(20)]
+        run(sim, all_of(sim, futs))
+        broker = cluster.broker_for("t-0")
+        assert broker.entries_written < 5  # batched client-side
+
+    def test_no_batching_one_entry_per_record(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(
+            sim, cluster, "t", "client", PulsarProducerConfig(batching=False)
+        )
+        futs = [producer.send(100) for _ in range(20)]
+        run(sim, all_of(sim, futs))
+        assert cluster.broker_for("t-0").entries_written == 20
+
+    def test_no_batch_lower_latency_than_batch_at_low_rate(self, sim):
+        """Fig. 6a: the latency/throughput dichotomy."""
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 1)
+        batching = PulsarProducer(
+            sim, cluster, "t", "client", PulsarProducerConfig(batch_delay=1e-3)
+        )
+        start = sim.now
+        run(sim, batching.send(100))
+        batch_latency = sim.now - start
+
+        no_batching = PulsarProducer(
+            sim, cluster, "t", "client", PulsarProducerConfig(batching=False)
+        )
+        start = sim.now
+        run(sim, no_batching.send(100))
+        nobatch_latency = sim.now - start
+        assert nobatch_latency < batch_latency
+
+    def test_keys_route_deterministically(self, sim):
+        cluster = make_cluster(sim)
+        cluster.create_topic("t", 8)
+        producer = PulsarProducer(sim, cluster, "t", "client")
+        assert run(sim, producer.send(10, key="k")) == run(
+            sim, producer.send(10, key="k")
+        )
+
+
+class TestOffloading:
+    def test_rollover_triggers_offload(self, sim):
+        config = PulsarBrokerConfig(ledger_rollover_bytes=10_000)
+        cluster = make_cluster(sim, config=config)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(sim, cluster, "t", "client")
+        futs = [producer.send(2_000) for _ in range(10)]
+        run(sim, all_of(sim, futs))
+        sim.run(until=sim.now + 1.0)
+        broker = cluster.broker_for("t-0")
+        assert broker.bytes_offloaded > 0
+        assert cluster.lts.total_bytes() > 0
+
+    def test_offloaded_ledgers_deleted_from_bookkeeper(self, sim):
+        config = PulsarBrokerConfig(ledger_rollover_bytes=5_000)
+        cluster = make_cluster(sim, config=config)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(sim, cluster, "t", "client")
+        futs = [producer.send(2_000) for _ in range(10)]
+        run(sim, all_of(sim, futs))
+        sim.run(until=sim.now + 1.0)
+        managed = cluster.broker_for("t-0").ledgers["t-0"]
+        offloaded = [l for l in managed.ledgers if l.offloaded]
+        assert offloaded and all(l.deleted_from_bk for l in offloaded)
+
+    def test_no_backpressure_backlog_grows(self, sim):
+        """Fig. 12: producers are never throttled when LTS lags, so the
+        un-offloaded backlog grows without bound."""
+        slow_lts = FileSystemLTS(
+            sim, LtsSpec(per_stream_bandwidth=1e5, aggregate_bandwidth=1e5, op_latency=0.0)
+        )
+        config = PulsarBrokerConfig(ledger_rollover_bytes=5_000, offload_threads=1)
+        cluster = make_cluster(sim, lts=slow_lts, config=config)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(sim, cluster, "t", "client")
+        backlogs = []
+        for round_ in range(5):
+            futs = [producer.send(2_000) for _ in range(10)]
+            run(sim, all_of(sim, futs))
+            backlogs.append(cluster.unoffloaded_backlog())
+        # Publishes keep succeeding (no throttle) while the backlog climbs.
+        assert backlogs[-1] > backlogs[0]
+
+    def test_historical_read_fetches_from_lts(self, sim):
+        config = PulsarBrokerConfig(ledger_rollover_bytes=5_000)
+        cluster = make_cluster(sim, config=config)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(sim, cluster, "t", "client")
+        futs = [producer.send(2_000) for _ in range(10)]
+        run(sim, all_of(sim, futs))
+        sim.run(until=sim.now + 1.0)
+        lts_reads_before = cluster.lts.bytes_read
+        consumer = PulsarConsumer(sim, cluster, "t", "client2")
+        total = 0
+        while total < 10:
+            batch = run(sim, consumer.receive())
+            total += batch.record_count
+        assert cluster.lts.bytes_read > lts_reads_before
+
+
+class TestStability:
+    def test_memory_pressure_crashes_broker(self, sim):
+        """Fig. 10b: with ackQ < ensemble and a lagging replica, the
+        broker's replication buffer grows until it crashes."""
+        config = PulsarBrokerConfig(memory_limit=50_000, ack_quorum=2)
+        cluster = make_cluster(sim, config=config)
+        cluster.create_topic("t", 1)
+        broker = cluster.broker_for("t-0")
+        # Publish a burst far larger than the memory limit in one tick so
+        # the buffer cannot drain between publishes.
+        futs = [
+            broker.publish("client", "t-0", Payload.synthetic(10_000), 1)
+            for _ in range(10)
+        ]
+        sim.run(until=sim.now + 5)
+        assert cluster.any_broker_crashed
+        assert any(isinstance(f.exception, BrokerCrashedError) for f in futs if f.done)
+
+    def test_ack_quorum_3_bounds_memory(self, sim):
+        config = PulsarBrokerConfig(memory_limit=50_000, ack_quorum=3)
+        cluster = make_cluster(sim, config=config)
+        cluster.create_topic("t", 1)
+        producer = PulsarProducer(
+            sim, cluster, "t", "client", PulsarProducerConfig(batching=False)
+        )
+        for _ in range(10):
+            run(sim, producer.send(10_000))
+        assert not cluster.any_broker_crashed
+
+    def test_dispatch_latency_floor(self, sim):
+        """Fig. 8a: consumers do not see events faster than the dispatch
+        batching interval allows."""
+        config = PulsarBrokerConfig(dispatch_interval=10e-3)
+        cluster = make_cluster(sim, config=config)
+        cluster.create_topic("t", 1)
+        consumer = PulsarConsumer(sim, cluster, "t", "client2")
+        receive = consumer.receive()
+        sim.run(until=sim.now + 0.001)
+        producer = PulsarProducer(
+            sim, cluster, "t", "client", PulsarProducerConfig(batching=False)
+        )
+        publish_time = sim.now
+        producer.send(100)
+        run(sim, receive)
+        assert sim.now - publish_time >= 5e-3

@@ -1,0 +1,149 @@
+"""Segment-store tests: RPC surface, container assignment/bootstrap,
+crash behaviour, load reports."""
+
+import pytest
+
+from repro.common.errors import ContainerOfflineError, SegmentError
+from repro.common.hashing import assign_to_bucket
+from repro.common.payload import Payload
+from repro.sim import Simulator
+
+from helpers import build_cluster, run
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def cluster(sim):
+    return build_cluster(sim)
+
+
+def owning_store(cluster, segment):
+    return cluster.store_cluster.store_for_segment(segment)
+
+
+class TestBootstrap:
+    def test_all_containers_assigned(self, sim, cluster):
+        assignment = cluster.store_cluster.assignment()
+        assert sorted(assignment) == list(range(cluster.config.num_containers))
+        assert set(assignment.values()) <= set(cluster.stores)
+
+    def test_round_robin_balance(self, sim, cluster):
+        assignment = cluster.store_cluster.assignment()
+        counts = {}
+        for owner in assignment.values():
+            counts[owner] = counts.get(owner, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_assignment_recorded_in_zookeeper(self, sim, cluster):
+        zk = cluster.zk_service.connect("observer")
+        for cid, owner in cluster.store_cluster.assignment().items():
+            data, _ = run(sim, zk.get(f"/pravega/cluster/containers/{cid}"))
+            assert data.decode() == owner
+
+    def test_segment_maps_by_stateless_hash(self, sim, cluster):
+        segment = "scope/s/0"
+        expected_container = assign_to_bucket(segment, cluster.config.num_containers)
+        store = owning_store(cluster, segment)
+        assert expected_container in store.containers
+
+
+class TestRpcSurface:
+    def test_create_append_read(self, sim, cluster):
+        store = owning_store(cluster, "a/b/0")
+        run(sim, store.rpc_create_segment("client", "a/b/0"))
+        result = run(
+            sim, store.rpc_append("client", "a/b/0", Payload.of(b"bytes!"))
+        )
+        assert result.offset == 0
+        read = run(sim, store.rpc_read("client", "a/b/0", 0, 100))
+        assert read.payload.content == b"bytes!"
+
+    def test_rpc_costs_simulated_time(self, sim, cluster):
+        store = owning_store(cluster, "t/t/0")
+        start = sim.now
+        run(sim, store.rpc_create_segment("client", "t/t/0"))
+        assert sim.now > start
+
+    def test_wrong_store_rejects_segment(self, sim, cluster):
+        segment = "x/y/0"
+        owner = owning_store(cluster, segment)
+        other = next(
+            s for s in cluster.stores.values() if s.name != owner.name
+        )
+        fut = other.rpc_create_segment("client", segment)
+        sim.run(until=sim.now + 1)
+        assert isinstance(fut.exception, SegmentError)
+
+    def test_get_attribute_roundtrip(self, sim, cluster):
+        store = owning_store(cluster, "w/w/0")
+        run(sim, store.rpc_create_segment("client", "w/w/0"))
+        run(
+            sim,
+            store.rpc_append(
+                "client", "w/w/0", Payload.of(b"x"), writer_id="wx", event_number=7
+            ),
+        )
+        assert run(sim, store.rpc_get_attribute("client", "w/w/0", "wx")) == 7
+
+    def test_table_rpcs(self, sim, cluster):
+        store = owning_store(cluster, "tbl/t/0")
+        run(sim, store.rpc_create_segment("client", "tbl/t/0", is_table=True))
+        run(
+            sim,
+            store.rpc_table_update("client", "tbl/t/0", {"k": (b"v", None)}),
+        )
+        entries = run(sim, store.rpc_table_get("client", "tbl/t/0", ["k"]))
+        assert entries["k"][0] == b"v"
+
+    def test_truncate_and_delete_rpcs(self, sim, cluster):
+        store = owning_store(cluster, "d/d/0")
+        run(sim, store.rpc_create_segment("client", "d/d/0"))
+        run(sim, store.rpc_append("client", "d/d/0", Payload.of(b"0123456789")))
+        run(sim, store.rpc_truncate_segment("client", "d/d/0", 5))
+        info = run(sim, store.rpc_get_info("client", "d/d/0"))
+        assert info.start_offset == 5
+        run(sim, store.rpc_delete_segment("client", "d/d/0"))
+        fut = store.rpc_get_info("client", "d/d/0")
+        sim.run(until=sim.now + 1)
+        assert fut.exception is not None
+
+
+class TestCrash:
+    def test_crashed_store_rejects_rpcs(self, sim, cluster):
+        store = owning_store(cluster, "c/c/0")
+        run(sim, store.rpc_create_segment("client", "c/c/0"))
+        store.crash()
+        fut = store.rpc_append("client", "c/c/0", Payload.of(b"x"))
+        sim.run(until=sim.now + 1)
+        assert isinstance(fut.exception, ContainerOfflineError)
+
+    def test_failover_moves_all_orphaned_containers(self, sim, cluster):
+        victim_name = "segmentstore-0"
+        orphaned = [
+            cid
+            for cid, owner in cluster.store_cluster.assignment().items()
+            if owner == victim_name
+        ]
+        run(sim, cluster.store_cluster.fail_store(victim_name), timeout=600)
+        assignment = cluster.store_cluster.assignment()
+        for cid in orphaned:
+            assert assignment[cid] != victim_name
+            assert cid in cluster.stores[assignment[cid]].containers
+
+    def test_load_report_covers_active_segments(self, sim, cluster):
+        store = owning_store(cluster, "load/l/0")
+        run(sim, store.rpc_create_segment("client", "load/l/0"))
+        run(
+            sim,
+            store.rpc_append(
+                "client", "load/l/0", Payload.synthetic(1_000), event_count=10
+            ),
+        )
+        report = store.load_report()
+        assert "load/l/0" in report
+        events_rate, bytes_rate = report["load/l/0"]
+        assert events_rate > 0 and bytes_rate > 0

@@ -1,0 +1,280 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Interrupt, Simulator, all_of, any_of
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_clock(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+
+    def test_run_until_with_empty_queue_advances_clock(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_nested_scheduling(self, sim):
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_max_events_backstop(self, sim):
+        def forever():
+            sim.call_soon(forever)
+
+        sim.call_soon(forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestFuture:
+    def test_set_result_and_value(self, sim):
+        fut = sim.future()
+        assert not fut.done
+        fut.set_result(42)
+        assert fut.done
+        assert fut.value == 42
+
+    def test_value_before_done_raises(self, sim):
+        fut = sim.future()
+        with pytest.raises(SimulationError):
+            _ = fut.value
+
+    def test_double_resolve_rejected(self, sim):
+        fut = sim.future()
+        fut.set_result(1)
+        with pytest.raises(SimulationError):
+            fut.set_result(2)
+
+    def test_exception_propagates_via_value(self, sim):
+        fut = sim.future()
+        fut.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            _ = fut.value
+
+    def test_callback_after_done_runs_immediately(self, sim):
+        fut = sim.future()
+        fut.set_result("x")
+        seen = []
+        fut.add_callback(lambda f: seen.append(f.value))
+        assert seen == ["x"]
+
+    def test_timeout_resolves_at_deadline(self, sim):
+        fut = sim.timeout(1.5, value="done")
+        sim.run()
+        assert sim.now == 1.5
+        assert fut.value == "done"
+
+
+class TestProcess:
+    def test_process_returns_generator_value(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            return "result"
+
+        proc = sim.process(body())
+        result = sim.run_until_complete(proc)
+        assert result == "result"
+        assert sim.now == 1.0
+
+    def test_yield_number_is_timeout(self, sim):
+        def body():
+            yield 2.5
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(body())) == 2.5
+
+    def test_yield_future_receives_value(self, sim):
+        fut = sim.future()
+
+        def resolver():
+            yield 1.0
+            fut.set_result("hello")
+
+        def waiter():
+            value = yield fut
+            return value
+
+        sim.process(resolver())
+        assert sim.run_until_complete(sim.process(waiter())) == "hello"
+
+    def test_process_waits_on_process(self, sim):
+        def child():
+            yield 3.0
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value * 2
+
+        assert sim.run_until_complete(sim.process(parent())) == 14
+
+    def test_exception_in_process_propagates(self, sim):
+        def body():
+            yield 1.0
+            raise RuntimeError("broken")
+
+        proc = sim.process(body())
+        with pytest.raises(RuntimeError):
+            sim.run_until_complete(proc)
+
+    def test_exception_from_awaited_future_thrown_into_process(self, sim):
+        fut = sim.future()
+
+        def resolver():
+            yield 1.0
+            fut.set_exception(KeyError("missing"))
+
+        def body():
+            try:
+                yield fut
+            except KeyError:
+                return "caught"
+            return "not caught"
+
+        sim.process(resolver())
+        assert sim.run_until_complete(sim.process(body())) == "caught"
+
+    def test_interrupt_wakes_process(self, sim):
+        def body():
+            try:
+                yield 100.0
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        proc = sim.process(body())
+        sim.schedule(2.0, lambda: proc.interrupt("stop"))
+        assert sim.run_until_complete(proc) == ("interrupted", "stop", 2.0)
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def body():
+            yield 100.0
+
+        proc = sim.process(body())
+        sim.schedule(1.0, lambda: proc.interrupt())
+        with pytest.raises(Interrupt):
+            sim.run_until_complete(proc)
+
+    def test_interrupt_after_done_is_noop(self, sim):
+        def body():
+            yield 1.0
+            return "ok"
+
+        proc = sim.process(body())
+        result = sim.run_until_complete(proc)
+        proc.interrupt()
+        assert result == "ok"
+
+    def test_deadlock_detected(self, sim):
+        fut = sim.future()
+
+        def body():
+            yield fut
+
+        proc = sim.process(body())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(proc)
+
+    def test_run_until_complete_timeout(self, sim):
+        def ticker():
+            while True:
+                yield 1.0
+
+        sim.process(ticker())
+        fut = sim.future()
+        with pytest.raises(SimulationError, match="timed out"):
+            sim.run_until_complete(fut, timeout=10.0)
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def worker(name, period):
+            for _ in range(3):
+                yield period
+                log.append((name, sim.now))
+
+        first = sim.process(worker("a", 1.0))
+        second = sim.process(worker("b", 1.5))
+        sim.run_until_complete(all_of(sim, [first, second]))
+        # At t=3.0 both wake; b's timeout was scheduled first (at t=1.5),
+        # so deterministic tie-breaking fires it first.
+        assert log == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+            ("b", 4.5),
+        ]
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self, sim):
+        futures = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        combined = all_of(sim, futures)
+        assert sim.run_until_complete(combined) == [3.0, 1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_all_of_empty(self, sim):
+        assert all_of(sim, []).value == []
+
+    def test_all_of_propagates_exception(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.future()
+        sim.schedule(0.5, lambda: bad.set_exception(ValueError("x")))
+        with pytest.raises(ValueError):
+            sim.run_until_complete(all_of(sim, [good, bad]))
+
+    def test_any_of_returns_first(self, sim):
+        futures = [sim.timeout(3.0, value="slow"), sim.timeout(1.0, value="fast")]
+        index, value = sim.run_until_complete(any_of(sim, futures))
+        assert (index, value) == (1, "fast")
+        assert sim.now == 1.0

@@ -1,0 +1,219 @@
+"""Unit tests for simulation resources, disks, page cache and network."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import (
+    Disk,
+    DiskSpec,
+    FifoServer,
+    Network,
+    NetworkSpec,
+    PageCache,
+    PageCacheSpec,
+    Resource,
+    Simulator,
+    Store,
+    all_of,
+)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_acquire_within_capacity_is_immediate(self, sim):
+        res = Resource(sim, capacity=2)
+        assert res.acquire().done
+        assert res.acquire().done
+        assert res.in_use == 2
+
+    def test_acquire_beyond_capacity_waits_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        res.acquire()
+        first = res.acquire()
+        second = res.acquire()
+        assert not first.done and not second.done
+        res.release()
+        assert first.done and not second.done
+        res.release()
+        assert second.done
+
+    def test_release_without_acquire_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+
+class TestFifoServer:
+    def test_requests_serialize(self, sim):
+        server = FifoServer(sim)
+        done = []
+        server.submit(1.0).add_callback(lambda f: done.append(sim.now))
+        server.submit(2.0).add_callback(lambda f: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 3.0]
+
+    def test_backlog_seconds(self, sim):
+        server = FifoServer(sim)
+        server.submit(5.0)
+        assert server.backlog_seconds() == pytest.approx(5.0)
+        sim.run()
+        assert server.backlog_seconds() == 0.0
+
+    def test_idle_gap_not_counted(self, sim):
+        server = FifoServer(sim)
+        server.submit(1.0)
+        sim.run()
+        assert sim.now == 1.0
+        sim.schedule(9.0, lambda: server.submit(1.0))
+        sim.run()
+        assert sim.now == 11.0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        assert store.get().value == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        fut = store.get()
+        assert not fut.done
+        store.put("x")
+        assert fut.value == "x"
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        assert [store.get_nowait() for _ in range(3)] == ["a", "b", "c"]
+
+
+class TestDisk:
+    def test_sequential_write_throughput(self, sim):
+        disk = Disk(sim, DiskSpec(bandwidth=100e6, op_latency=0.0, fsync_latency=0.0))
+        total = 50 * 1024 * 1024
+        fut = disk.write("log", total)
+        sim.run_until_complete(fut)
+        assert sim.now == pytest.approx(total / 100e6)
+
+    def test_file_switch_penalty_applied(self, sim):
+        spec = DiskSpec(
+            bandwidth=1e9, op_latency=0.0, file_switch_latency=1e-3, fsync_latency=0.0
+        )
+        disk = Disk(sim, spec)
+        futures = [disk.write("a", 0), disk.write("b", 0), disk.write("b", 0)]
+        sim.run_until_complete(all_of(sim, futures))
+        # first op: no previous file; second op: switch a->b; third: same file.
+        assert sim.now == pytest.approx(1e-3)
+        assert disk.switches == 1
+
+    def test_fsync_costs_extra(self, sim):
+        spec = DiskSpec(bandwidth=1e9, op_latency=1e-4, fsync_latency=2e-4)
+        disk = Disk(sim, spec)
+        sim.run_until_complete(disk.write("f", 0, sync=True))
+        assert sim.now == pytest.approx(3e-4)
+
+    def test_multiplexed_beats_per_file_writes(self, sim):
+        """The core mechanism behind Fig. 10: one multiplexed log file
+        sustains far more throughput than many per-partition files."""
+        spec = DiskSpec()
+        single = Disk(sim, spec)
+        chunk = 64 * 1024
+        ops = 200
+        futs = [single.write("shared", chunk) for _ in range(ops)]
+        sim.run_until_complete(all_of(sim, futs))
+        single_time = sim.now
+
+        sim2 = Simulator()
+        many = Disk(sim2, spec)
+        futs = [many.write(f"part-{i % 100}", chunk) for i in range(ops)]
+        sim2.run_until_complete(all_of(sim2, futs))
+        assert sim2.now > 3 * single_time
+
+    def test_negative_size_rejected(self, sim):
+        disk = Disk(sim)
+        with pytest.raises(SimulationError):
+            disk.write("f", -1)
+
+
+class TestPageCache:
+    def test_write_absorbed_at_memory_speed(self, sim):
+        disk = Disk(sim, DiskSpec(bandwidth=100e6))
+        cache = PageCache(sim, disk, PageCacheSpec(memory_bandwidth=10e9))
+        fut = cache.write("f", 1024 * 1024)
+        sim.run_until_complete(fut)
+        # Far faster than the disk would allow.
+        assert sim.now < (1024 * 1024) / 100e6
+
+    def test_dirty_limit_throttles_writers(self, sim):
+        disk = Disk(sim, DiskSpec(bandwidth=100e6, op_latency=0.0))
+        cache = PageCache(
+            sim, disk, PageCacheSpec(dirty_limit=1024 * 1024, writeback_chunk=1024 * 1024)
+        )
+        first = cache.write("f", 1024 * 1024)
+        second = cache.write("f", 1024 * 1024)
+        sim.run_until_complete(second)
+        assert first.done
+        # The second write had to wait for writeback of ~1MB at 100MB/s.
+        assert sim.now >= (1024 * 1024) / 100e6
+
+    def test_flush_waits_for_file_clean(self, sim):
+        disk = Disk(sim, DiskSpec(bandwidth=100e6))
+        cache = PageCache(sim, disk)
+        sim.run_until_complete(cache.write("f", 4 * 1024 * 1024))
+        fut = cache.flush("f")
+        sim.run_until_complete(fut)
+        assert cache.dirty_bytes == 0
+
+    def test_flush_clean_file_is_immediate(self, sim):
+        disk = Disk(sim)
+        cache = PageCache(sim, disk)
+        assert cache.flush("nonexistent").done
+
+    def test_writeback_drains_everything(self, sim):
+        disk = Disk(sim, DiskSpec(bandwidth=1e9))
+        cache = PageCache(sim, disk)
+        for i in range(10):
+            cache.write(f"file-{i}", 100_000)
+        sim.run()
+        assert cache.dirty_bytes == 0
+        assert disk.bytes_written == 1_000_000
+
+
+class TestNetwork:
+    def test_transfer_latency_includes_half_rtt(self, sim):
+        net = Network(sim, NetworkSpec(bandwidth=1e9, rtt=1e-3, per_message_overhead=0.0))
+        fut = net.transfer("a", "b", 0)
+        sim.run_until_complete(fut)
+        assert sim.now == pytest.approx(0.5e-3)
+
+    def test_transfer_serializes_on_sender_nic(self, sim):
+        net = Network(sim, NetworkSpec(bandwidth=1e6, rtt=0.0, per_message_overhead=0.0))
+        futs = [net.transfer("a", "b", 500_000) for _ in range(2)]
+        sim.run_until_complete(all_of(sim, futs))
+        assert sim.now == pytest.approx(1.0)
+
+    def test_payload_delivered(self, sim):
+        net = Network(sim)
+        fut = net.transfer("a", "b", 100, payload={"k": 1})
+        assert sim.run_until_complete(fut) == {"k": 1}
+
+    def test_local_transfer_is_fast(self, sim):
+        net = Network(sim)
+        fut = net.transfer("a", "a", 1_000_000)
+        sim.run_until_complete(fut)
+        assert sim.now == pytest.approx(net.spec.local_latency)
+
+    def test_host_registry_reuses_instances(self, sim):
+        net = Network(sim)
+        assert net.host("x") is net.host("x")
+
+    def test_rtt_between(self, sim):
+        net = Network(sim, NetworkSpec(rtt=2e-3))
+        assert net.rtt_between("a", "b") == pytest.approx(2e-3)
+        assert net.rtt_between("a", "a") < 2e-3

@@ -1,0 +1,169 @@
+"""Tests for the state synchronizer (optimistic concurrency, §3.3) and
+the reader-group state machine built on it."""
+
+import pytest
+
+from repro.pravega.client.reader_group import ReaderGroup
+from repro.sim import Simulator, all_of
+
+from helpers import build_cluster, make_stream, run
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+@pytest.fixture()
+def cluster(sim):
+    return build_cluster(sim)
+
+
+def make_sync(sim, cluster, name="sync-test"):
+    from repro.pravega.client.state_synchronizer import StateSynchronizer
+
+    segment = f"test/_sync/{name}"
+    return StateSynchronizer(
+        sim,
+        cluster.stores,
+        cluster.store_cluster.store_for_segment,
+        segment,
+        "client-host",
+    )
+
+
+class TestStateSynchronizer:
+    def test_initialize_and_fetch(self, sim, cluster):
+        sync = make_sync(sim, cluster)
+        run(sim, sync.initialize({"counter": 0}))
+        state, version = run(sim, sync.fetch())
+        assert state == {"counter": 0}
+        assert version == 0
+
+    def test_initialize_is_idempotent(self, sim, cluster):
+        sync = make_sync(sim, cluster)
+        run(sim, sync.initialize({"v": 1}))
+        run(sim, sync.initialize({"v": 999}))
+        state, _ = run(sim, sync.fetch())
+        assert state == {"v": 1}
+
+    def test_update_applies_function(self, sim, cluster):
+        sync = make_sync(sim, cluster)
+        run(sim, sync.initialize({"counter": 0}))
+
+        def increment(state):
+            state["counter"] += 1
+            return state
+
+        state, version = run(sim, sync.update(increment))
+        assert state["counter"] == 1 and version == 1
+
+    def test_update_returning_none_writes_nothing(self, sim, cluster):
+        sync = make_sync(sim, cluster)
+        run(sim, sync.initialize({"x": 1}))
+        state, version = run(sim, sync.update(lambda s: None))
+        assert version == 0
+
+    def test_concurrent_updates_all_apply(self, sim, cluster):
+        """Optimistic concurrency: conflicting updates retry and all land."""
+        sync_a = make_sync(sim, cluster, "shared")
+        sync_b = make_sync(sim, cluster, "shared")
+        run(sim, sync_a.initialize({"counter": 0}))
+
+        def increment(state):
+            state["counter"] += 1
+            return state
+
+        futs = [sync_a.update(increment) for _ in range(5)]
+        futs += [sync_b.update(increment) for _ in range(5)]
+        run(sim, all_of(sim, futs))
+        state, _ = run(sim, sync_a.fetch())
+        assert state["counter"] == 10
+
+    def test_updater_gets_private_copy(self, sim, cluster):
+        sync = make_sync(sim, cluster)
+        run(sim, sync.initialize({"items": []}))
+
+        def mutate_and_abort(state):
+            state["items"].append("leak")
+            return None  # abort
+
+        run(sim, sync.update(mutate_and_abort))
+        state, _ = run(sim, sync.fetch())
+        assert state["items"] == []
+
+
+class TestReaderGroupState:
+    def _group(self, sim, cluster, segments=2):
+        from repro.pravega import ScalingPolicy, StreamConfiguration
+
+        make_stream(
+            sim,
+            cluster,
+            stream="grp",
+            config=StreamConfiguration(scaling=ScalingPolicy.fixed(segments)),
+        )
+        return run(
+            sim, cluster.create_reader_group("bench-0", "g", "test", "grp")
+        )
+
+    def test_initial_state_has_head_segments_unassigned(self, sim, cluster):
+        group = self._group(sim, cluster, segments=3)
+        state = run(sim, group.state())
+        assert sorted(state["unassigned"]) == [0, 1, 2]
+        assert state["assigned"] == {}
+
+    def test_acquire_respects_fair_share(self, sim, cluster):
+        group = self._group(sim, cluster, segments=4)
+        run(sim, group.add_reader("r1"))
+        run(sim, group.add_reader("r2"))
+        first = run(sim, group.acquire_segments("r1"))
+        second = run(sim, group.acquire_segments("r2"))
+        assert len(first) == 2 and len(second) == 2
+        assert set(first).isdisjoint(second)
+
+    def test_single_reader_takes_everything(self, sim, cluster):
+        group = self._group(sim, cluster, segments=4)
+        run(sim, group.add_reader("solo"))
+        acquired = run(sim, group.acquire_segments("solo"))
+        assert len(acquired) == 4
+
+    def test_unknown_reader_acquires_nothing(self, sim, cluster):
+        group = self._group(sim, cluster)
+        acquired = run(sim, group.acquire_segments("ghost"))
+        assert acquired == {}
+
+    def test_release_returns_segment_with_position(self, sim, cluster):
+        group = self._group(sim, cluster, segments=2)
+        run(sim, group.add_reader("r1"))
+        run(sim, group.acquire_segments("r1"))
+        run(sim, group.release_segment("r1", 0, offset=1234))
+        state = run(sim, group.state())
+        assert state["unassigned"][0] == 1234
+
+    def test_reader_offline_releases_all(self, sim, cluster):
+        group = self._group(sim, cluster, segments=3)
+        run(sim, group.add_reader("r1"))
+        run(sim, group.acquire_segments("r1"))
+        run(sim, group.reader_offline("r1"))
+        state = run(sim, group.state())
+        assert len(state["unassigned"]) == 3
+        assert "r1" not in state["readers"]
+
+    def test_update_position_persists(self, sim, cluster):
+        group = self._group(sim, cluster, segments=1)
+        run(sim, group.add_reader("r1"))
+        run(sim, group.acquire_segments("r1"))
+        run(sim, group.update_position("r1", 0, 500))
+        state = run(sim, group.state())
+        assert state["assigned"]["r1"][0] == 500
+
+    def test_invariants_checker_catches_double_assignment(self, sim, cluster):
+        group = self._group(sim, cluster)
+        bad_state = {
+            "assigned": {"r1": {0: 0}, "r2": {0: 0}},
+            "unassigned": {},
+            "pending_predecessors": {},
+        }
+        with pytest.raises(AssertionError):
+            ReaderGroup.check_invariants(bad_state)

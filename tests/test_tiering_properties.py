@@ -1,0 +1,137 @@
+"""Property tests for storage tiering (DESIGN.md invariants 6-7).
+
+Under random sequences of appends, forced flushes, truncations and cache
+evictions, a segment's readable contents must always equal exactly the
+bytes appended — regardless of whether they live in cache, WAL or LTS —
+and the chunk metadata must stay contiguous and non-overlapping.
+"""
+
+import random
+
+import pytest
+
+from repro.common.payload import Payload
+from repro.bookkeeper import Bookie, BookKeeperCluster
+from repro.lts import InMemoryLTS
+from repro.pravega.container import ContainerConfig, SegmentContainer
+from repro.pravega.container.storage_writer import StorageWriterConfig
+from repro.sim import Disk, Network, Simulator
+from repro.zookeeper import ZookeeperService
+
+
+def make_container(sim):
+    network = Network(sim)
+    zk_service = ZookeeperService(sim, network)
+    bk = BookKeeperCluster(sim, network)
+    for i in range(3):
+        bk.add_bookie(Bookie(sim, f"bookie-{i}", Disk(sim)))
+    container = SegmentContainer(
+        sim,
+        0,
+        bk.client("store-0"),
+        zk_service.connect("store-0"),
+        InMemoryLTS(sim),
+        ContainerConfig(
+            storage=StorageWriterConfig(flush_threshold=256, flush_timeout=0.01)
+        ),
+    )
+    sim.run_until_complete(container.start())
+    return container
+
+
+@pytest.mark.parametrize("seed", [3, 17, 41, 71])
+def test_contents_always_reconstructible(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    container = make_container(sim)
+    sim.run_until_complete(container.create_segment("s"))
+    expected = bytearray()
+    truncated_to = 0
+
+    for step in range(40):
+        action = rng.random()
+        if action < 0.6:
+            data = bytes(rng.randrange(256) for _ in range(rng.randint(1, 200)))
+            sim.run_until_complete(container.append("s", Payload.of(data)), timeout=60)
+            expected.extend(data)
+        elif action < 0.75:
+            sim.run_until_complete(container.storage_writer.flush_all(), timeout=60)
+        elif action < 0.9 and len(expected) > truncated_to:
+            offset = rng.randint(truncated_to, len(expected))
+            sim.run_until_complete(container.truncate_segment("s", offset), timeout=60)
+            truncated_to = offset
+        else:
+            container.cache_manager.advance_generation()
+            container.cache_manager.target_utilization = 0.0
+            container.cache_manager.maybe_evict()
+            container.cache_manager.target_utilization = 0.85
+        sim.run(until=sim.now + 0.05)
+
+        # Invariant 7: readable contents == appended bytes (from any tier).
+        if len(expected) > truncated_to:
+            pieces = []
+            offset = truncated_to
+            while offset < len(expected):
+                result = sim.run_until_complete(
+                    container.read("s", offset, 10_000), timeout=120
+                )
+                pieces.append(result.payload.content)
+                offset += result.payload.size
+            assert b"".join(pieces) == bytes(expected[truncated_to:]), f"step {step}"
+
+        # Invariant: chunk metadata is contiguous and non-overlapping.
+        chunks = container.storage_writer.chunks.get("s", [])
+        for left, right in zip(chunks, chunks[1:]):
+            assert left.end_offset == right.start_offset
+
+        # Invariant 5/6: cache layout + read index stay coherent.
+        container.cache.check_invariants()
+        index = container.read_indexes.get("s")
+        if index is not None:
+            index.check_invariants()
+
+
+@pytest.mark.parametrize("seed", [5, 29])
+def test_recovery_matches_model_after_random_workload(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    network = Network(sim)
+    zk_service = ZookeeperService(sim, network)
+    bk = BookKeeperCluster(sim, network)
+    for i in range(3):
+        bk.add_bookie(Bookie(sim, f"bookie-{i}", Disk(sim)))
+    lts = InMemoryLTS(sim)
+    config = ContainerConfig(
+        storage=StorageWriterConfig(flush_threshold=512, flush_timeout=0.02),
+        checkpoint_interval_time=0.1,
+    )
+    container = SegmentContainer(
+        sim, 0, bk.client("a"), zk_service.connect("a"), lts, config
+    )
+    sim.run_until_complete(container.start())
+    sim.run_until_complete(container.create_segment("s"))
+    expected = bytearray()
+    for _ in range(60):
+        data = bytes(rng.randrange(256) for _ in range(rng.randint(1, 100)))
+        sim.run_until_complete(
+            container.append("s", Payload.of(data), writer_id="w"), timeout=60
+        )
+        expected.extend(data)
+        if rng.random() < 0.2:
+            sim.run(until=sim.now + 0.15)  # allow flushes + checkpoints
+
+    container.shutdown()
+    successor = SegmentContainer(
+        sim, 0, bk.client("b"), zk_service.connect("b"), lts, config
+    )
+    sim.run_until_complete(successor.recover(), timeout=300)
+    assert successor.get_info("s").length == len(expected)
+    pieces = []
+    offset = 0
+    while offset < len(expected):
+        result = sim.run_until_complete(
+            successor.read("s", offset, 10_000), timeout=120
+        )
+        pieces.append(result.payload.content)
+        offset += result.payload.size
+    assert b"".join(pieces) == bytes(expected)
