@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test perf bench-kernel
+
+## tier-1 verification: the full unit/property/bench-harness suite
+test:
+	$(PYTHON) -m pytest -x -q
+
+## wall-clock kernel regression smoke (generous budgets, CI-friendly)
+perf:
+	$(PYTHON) benchmarks/bench_kernel.py --check
+
+## full kernel microbenchmark; writes BENCH_kernel.json
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py

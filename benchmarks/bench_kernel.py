@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Wall-clock microbenchmarks for the discrete-event kernel.
+
+Unlike the figure benchmarks (which measure *simulated* throughput), this
+harness measures how fast the kernel itself executes events in *wall-clock*
+time: kernel overhead is the ceiling for every sweep in EXPERIMENTS.md, so
+regressions here silently cap the scales the figure benches can explore.
+
+Scenarios
+---------
+* ``timeout_churn``     — N processes each doing ``yield dt`` in a tight loop;
+                          the pure fast-path cost of one timeout cycle.
+* ``ping_pong``         — producer/consumer pairs rendezvousing through a
+                          :class:`Store`; exercises futures + microtasks.
+* ``cancel_storm``      — schedules many timers and cancels most of them;
+                          exercises lazy cancellation + heap compaction.
+* ``mini_workload``     — a small end-to-end Pravega workload through the
+                          real bench driver; the "does it help real runs"
+                          check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full run
+    PYTHONPATH=src python benchmarks/bench_kernel.py --check    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernel.py --json OUT # custom path
+
+The full run writes ``BENCH_kernel.json`` next to this file: per-scenario
+wall seconds, events executed, events/second, and the kernel's own
+``Simulator.stats`` counters (when the running kernel exposes them).
+``--check`` runs trimmed scenarios under a generous wall-clock budget and
+exits non-zero on gross regressions — wire it into ``make perf``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim import Simulator, Store  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# Scenarios.  Each returns (simulator, events_processed_estimate).
+# ----------------------------------------------------------------------
+def timeout_churn(processes: int, cycles: int) -> Simulator:
+    """N processes each doing `yield dt` in a tight loop."""
+    sim = Simulator()
+
+    def churner(period: float):
+        for _ in range(cycles):
+            yield period
+
+    for i in range(processes):
+        sim.process(churner(0.001 * (i + 1)))
+    sim.run()
+    return sim
+
+
+def ping_pong(pairs: int, rounds: int) -> Simulator:
+    """Producer/consumer pairs rendezvousing through a Store."""
+    sim = Simulator()
+
+    def producer(store: Store):
+        for n in range(rounds):
+            store.put(n)
+            yield 0.001
+
+    def consumer(store: Store):
+        for _ in range(rounds):
+            yield store.get()
+
+    for _ in range(pairs):
+        store = Store(sim)
+        sim.process(producer(store))
+        sim.process(consumer(store))
+    sim.run()
+    return sim
+
+
+def cancel_storm(batches: int, timers_per_batch: int) -> Simulator:
+    """Schedule many long timers, cancel most before they fire.
+
+    This is the retry/linger-timer pattern from the Kafka/Pulsar clients:
+    a timer is armed per operation and almost always cancelled when the
+    operation completes first.
+    """
+    sim = Simulator()
+    noop = lambda: None  # noqa: E731
+
+    def armer():
+        for _ in range(batches):
+            handles = [sim.schedule(50.0, noop) for _ in range(timers_per_batch)]
+            yield 0.001
+            # The operation "completed": cancel all but one timer.
+            for handle in handles[1:]:
+                sim.cancel(handle)
+
+    sim.process(armer())
+    sim.run(until=1.0 + 0.001 * batches)
+    sim.run()
+    return sim
+
+
+def mini_workload(target_rate: float, duration: float) -> Simulator:
+    """A small end-to-end Pravega run through the real bench driver."""
+    from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+
+    sim = Simulator()
+    adapter = PravegaAdapter(sim)
+    spec = WorkloadSpec(
+        event_size=100,
+        target_rate=target_rate,
+        partitions=4,
+        producers=2,
+        consumers=2,
+        duration=duration,
+        warmup=0.5,
+    )
+    run_workload(sim, adapter, spec)
+    return sim
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _kernel_stats(sim: Simulator) -> Dict[str, int]:
+    """Snapshot Simulator.stats if this kernel version exposes it."""
+    stats = getattr(sim, "stats", None)
+    if stats is None:
+        return {}
+    return stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
+
+
+def run_scenario(name: str, fn: Callable[[], Simulator], repeats: int = 3) -> Dict:
+    """Run ``fn`` ``repeats`` times; report the best wall time (least noise)."""
+    best: Optional[float] = None
+    sim: Optional[Simulator] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    stats = _kernel_stats(sim)
+    events = stats.get("events_executed", 0) + stats.get("microtasks_executed", 0)
+    record = {
+        "name": name,
+        "wall_seconds": best,
+        "events": events,
+        "events_per_second": (events / best) if events and best else None,
+        "ns_per_event": (best / events * 1e9) if events and best else None,
+        "stats": stats,
+    }
+    rate = f"{record['events_per_second']:,.0f} ev/s" if events else "n/a"
+    per = f"{record['ns_per_event']:,.0f} ns/ev" if events else ""
+    print(f"  {name:<16} {best * 1e3:9.1f} ms   {rate:>16}  {per:>14}")
+    return record
+
+
+# (scenario name, full-run thunk, smoke-run thunk, smoke wall-clock budget s)
+SCENARIOS = [
+    (
+        "timeout_churn",
+        lambda: timeout_churn(processes=100, cycles=2_000),
+        lambda: timeout_churn(processes=20, cycles=500),
+        20.0,
+    ),
+    (
+        "ping_pong",
+        lambda: ping_pong(pairs=50, rounds=2_000),
+        lambda: ping_pong(pairs=10, rounds=500),
+        20.0,
+    ),
+    (
+        "cancel_storm",
+        lambda: cancel_storm(batches=500, timers_per_batch=200),
+        lambda: cancel_storm(batches=100, timers_per_batch=100),
+        20.0,
+    ),
+    (
+        "mini_workload",
+        lambda: mini_workload(target_rate=20_000, duration=3.0),
+        lambda: mini_workload(target_rate=5_000, duration=1.0),
+        60.0,
+    ),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="trimmed CI smoke mode: fail if any scenario blows its "
+        "(generous) wall-clock budget",
+    )
+    parser.add_argument(
+        "--json",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_kernel.json"),
+        help="output path for the JSON report (full mode only)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help="run only the named scenario(s); may repeat",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.scenario:
+        known = {row[0] for row in SCENARIOS}
+        unknown = [name for name in args.scenario if name not in known]
+        if unknown:
+            parser.error(f"unknown scenario(s): {unknown}")
+    selected = [
+        row for row in SCENARIOS if not args.scenario or row[0] in args.scenario
+    ]
+
+    mode = "smoke" if args.check else "full"
+    print(f"kernel microbench ({mode} mode)")
+    results = {}
+    failures = []
+    for name, full, smoke, budget in selected:
+        fn = smoke if args.check else full
+        record = run_scenario(name, fn, repeats=1 if args.check else args.repeats)
+        results[name] = record
+        if args.check and record["wall_seconds"] > budget:
+            failures.append(
+                f"{name}: {record['wall_seconds']:.1f}s > budget {budget:.0f}s"
+            )
+
+    if args.check:
+        if failures:
+            print("PERF CHECK FAILED:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("perf check ok")
+        return 0
+
+    report = {
+        "python": sys.version.split()[0],
+        "mode": mode,
+        "repeats": args.repeats,
+        "scenarios": results,
+    }
+    out = os.path.abspath(args.json)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,8 +81,12 @@ def run_workload(
     window_end = sim.now + spec.warmup + spec.duration
     load_end = window_end
     ack_grace = 0.25
-    #: per-partition FIFO of (event count, send time)
-    trackers: Dict[int, Deque[Tuple[int, float]]] = {}
+    #: per-partition FIFO of (event count, send time); all deques are
+    #: created up front so the per-tick hot loop never allocates one
+    trackers: Dict[int, Deque[Tuple[int, float]]] = {
+        partition: deque() for partition in range(spec.partitions)
+    }
+    trackers[GLOBAL_TRACKER] = deque()
     producers_done = sim.future()
     producers_running = [spec.producers]
 
@@ -94,16 +98,23 @@ def run_workload(
         rate = spec.target_rate / spec.producers
         carry = 0.0
         rotate = index
+        # Hot-loop hoists: one attribute lookup each per run, not per tick.
+        tick = spec.tick
+        event_size = spec.event_size
+        partitions = spec.partitions
+        keyless = spec.key_mode == "none"
+        backlog_cap = spec.target_rate * 2.0 + 10_000
+        send_group = handle.send_group
         while sim.now < load_end:
-            yield sim.timeout(spec.tick)
+            yield tick
             # Open-loop generation, bounded: once the system is hopelessly
             # behind (several seconds of unacked events), stop piling more
             # into client queues — the run is already saturated, and this
             # keeps overload runs tractable.
             backlog = counters.sent_events - counters.produced_events
-            if backlog > spec.target_rate * 2.0 + 10_000:
+            if backlog > backlog_cap:
                 continue
-            carry += rate * spec.tick
+            carry += rate * tick
             count = int(carry)
             if count <= 0:
                 continue
@@ -111,22 +122,22 @@ def run_workload(
             counters.sent_events += count
             now = sim.now
             in_window = window_start <= now < window_end
-            if spec.key_mode == "none":
-                fut = handle.send_group(None, count, spec.event_size)
+            if keyless:
+                fut = send_group(None, count, event_size)
                 fut.add_callback(
                     lambda f, n=count, t=now, w=in_window: _ack(f, n, t, w)
                 )
-                trackers.setdefault(GLOBAL_TRACKER, deque()).append((count, now))
+                trackers[GLOBAL_TRACKER].append((count, now))
             else:
                 # Random keys: spread the group across partitions.
-                shares = _spread(count, spec.partitions, rotate)
+                shares = _spread(count, partitions, rotate)
                 rotate += 1
                 for partition, share in shares:
-                    fut = handle.send_group(partition, share, spec.event_size)
+                    fut = send_group(partition, share, event_size)
                     fut.add_callback(
                         lambda f, n=share, t=now, w=in_window: _ack(f, n, t, w)
                     )
-                    trackers.setdefault(partition, deque()).append((share, now))
+                    trackers[partition].append((share, now))
         yield handle.flush()
         producers_running[0] -= 1
         if producers_running[0] == 0 and not producers_done.done:
@@ -186,7 +197,7 @@ def run_workload(
     # ------------------------------------------------------------------
     def probe_process():
         while sim.now < window_end:
-            yield sim.timeout(probe_interval)
+            yield probe_interval
             if probe is not None:
                 probe(sim.now, result)
 
@@ -226,14 +237,27 @@ def run_workload(
     return result
 
 
+#: memoized spread shares; the result only depends on (count, partitions,
+#: rotate mod partitions) and steady-rate workloads cycle through a handful
+#: of counts, so the cache stays tiny while saving a list build per tick.
+_SPREAD_CACHE: Dict[Tuple[int, int, int], List[Tuple[int, int]]] = {}
+_SPREAD_CACHE_MAX = 8192
+
+
 def _spread(count: int, partitions: int, rotate: int) -> List[Tuple[int, int]]:
     """Distribute ``count`` events over partitions (random-key model).
 
     Each partition gets count/partitions events; the remainder rotates so
-    low-rate workloads still touch all partitions over time.
+    low-rate workloads still touch all partitions over time.  The returned
+    list is shared via a memo cache — callers must not mutate it.
     """
     if partitions == 1:
         return [(0, count)]
+    rotate %= partitions
+    key = (count, partitions, rotate)
+    shares = _SPREAD_CACHE.get(key)
+    if shares is not None:
+        return shares
     base, remainder = divmod(count, partitions)
     shares = []
     for offset in range(partitions):
@@ -241,4 +265,6 @@ def _spread(count: int, partitions: int, rotate: int) -> List[Tuple[int, int]]:
         share = base + (1 if offset < remainder else 0)
         if share > 0:
             shares.append((partition, share))
+    if len(_SPREAD_CACHE) < _SPREAD_CACHE_MAX:
+        _SPREAD_CACHE[key] = shares
     return shares

@@ -32,18 +32,33 @@ class Payload:
             )
 
     @classmethod
+    def _trusted(cls, size: int, content: Optional[bytes]) -> "Payload":
+        """Construct without validation — callers guarantee the size/content
+        invariant.  Frozen-dataclass ``__init__`` pays one
+        ``object.__setattr__`` per field plus ``__post_init__``; the storage
+        path builds millions of payloads, so internal call sites skip it.
+        """
+        payload = object.__new__(cls)
+        _set = object.__setattr__
+        _set(payload, "size", size)
+        _set(payload, "content", content)
+        return payload
+
+    @classmethod
     def of(cls, data: bytes) -> "Payload":
         """A payload with real content."""
-        return cls(len(data), bytes(data))
+        return cls._trusted(len(data), bytes(data))
 
     @classmethod
     def synthetic(cls, size: int) -> "Payload":
         """A content-free payload of ``size`` bytes."""
-        return cls(size, None)
+        if size < 0:
+            raise ValueError(f"negative payload size: {size}")
+        return cls._trusted(size, None)
 
     @classmethod
     def empty(cls) -> "Payload":
-        return cls(0, b"")
+        return _EMPTY
 
     @property
     def is_synthetic(self) -> bool:
@@ -54,18 +69,23 @@ class Payload:
         if not (0 <= start <= end <= self.size):
             raise ValueError(f"bad slice [{start}, {end}) of {self.size} bytes")
         if self.content is not None:
-            return Payload(end - start, self.content[start:end])
-        return Payload.synthetic(end - start)
+            return Payload._trusted(end - start, self.content[start:end])
+        return Payload._trusted(end - start, None)
 
     @classmethod
     def concat(cls, parts: Sequence["Payload"]) -> "Payload":
         """Concatenate payloads; the result is synthetic if any part is."""
-        total = sum(p.size for p in parts)
+        total = 0
+        all_content = True
+        for p in parts:
+            total += p.size
+            if p.content is None:
+                all_content = False
         if total == 0:
-            return cls.empty()
-        if all(p.content is not None for p in parts):
-            return cls(total, b"".join(p.content for p in parts))  # type: ignore[misc]
-        return cls.synthetic(total)
+            return _EMPTY
+        if all_content:
+            return cls._trusted(total, b"".join(p.content for p in parts))  # type: ignore[misc]
+        return cls._trusted(total, None)
 
     def __add__(self, other: "Payload") -> "Payload":
         return Payload.concat([self, other])
@@ -74,3 +94,7 @@ class Payload:
         if self.content is None:
             raise ValueError("payload is synthetic (size-only)")
         return self.content
+
+
+#: shared immutable empty payload (Payload is frozen, so a singleton is safe)
+_EMPTY = Payload(0, b"")

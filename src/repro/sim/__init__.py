@@ -1,6 +1,14 @@
 """Discrete-event simulation substrate (replaces the paper's AWS testbed)."""
 
-from repro.sim.core import Interrupt, Process, SimFuture, Simulator, all_of, any_of
+from repro.sim.core import (
+    Interrupt,
+    Process,
+    SimFuture,
+    SimStats,
+    Simulator,
+    all_of,
+    any_of,
+)
 from repro.sim.disk import Disk, DiskSpec, PageCache, PageCacheSpec
 from repro.sim.network import Host, Network, NetworkSpec
 from repro.sim.resources import FifoServer, Resource, Store
@@ -8,6 +16,7 @@ from repro.sim.resources import FifoServer, Resource, Store
 __all__ = [
     "Simulator",
     "SimFuture",
+    "SimStats",
     "Process",
     "Interrupt",
     "all_of",

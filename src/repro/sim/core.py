@@ -14,19 +14,36 @@ follows the classic process-interaction style (as popularised by SimPy):
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), and the
 kernel itself never consults wall-clock time or global randomness.
+
+Hot-path structure (see DESIGN.md "Kernel performance"):
+
+* ``yield <number>`` inside a process takes an allocation-free fast path —
+  the generator resume is scheduled directly on the heap as a
+  ``(time, seq, process)`` tuple, with no :class:`SimFuture`, no closure
+  and no :class:`_ScheduledEvent` allocated;
+* zero-delay events (``call_soon`` / ``schedule(0.0, ...)``) go to a FIFO
+  microtask deque that bypasses ``heapq`` entirely; global (time, seq)
+  ordering relative to heap events is preserved exactly;
+* cancellation is lazy (dead entries are skipped on pop) with periodic
+  heap compaction so cancelled-timer storms don't grow the queue without
+  bound;
+* :attr:`Simulator.stats` exposes cheap counters (events executed,
+  microtasks, heap peak, cancellations skipped, compactions) so
+  regressions are visible to the perf harness.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Deque, Generator, Iterable, Optional
 
 from repro.common.errors import SimulationError
 
 __all__ = [
     "Simulator",
     "SimFuture",
+    "SimStats",
     "Process",
     "Interrupt",
     "all_of",
@@ -57,7 +74,8 @@ class SimFuture:
         self._done = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: list[Callable[["SimFuture"], None]] = []
+        # Lazily allocated: most futures get exactly one callback, many none.
+        self._callbacks: Optional[list[Callable[["SimFuture"], None]]] = None
 
     @property
     def done(self) -> bool:
@@ -80,6 +98,8 @@ class SimFuture:
     def add_callback(self, fn: Callable[["SimFuture"], None]) -> None:
         if self._done:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -97,9 +117,11 @@ class SimFuture:
         self._done = True
         self._value = value
         self._exception = exc
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for fn in callbacks:
+                fn(self)
 
 
 class Process(SimFuture):
@@ -111,12 +133,13 @@ class Process(SimFuture):
       the future's value (or the exception is thrown into the generator);
     * another :class:`Process` — same thing (a process *is* a future that
       resolves with the generator's return value);
-    * a number — shorthand for ``sim.timeout(number)``.
+    * a number — shorthand for ``sim.timeout(number)``, but on an
+      allocation-free fast path (no future is created).
 
     The process itself resolves with the generator's ``return`` value.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_interrupts")
+    __slots__ = ("_gen", "_waiting_on", "_interrupts", "_timer_seq", "_timer_time")
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any]) -> None:
         super().__init__(sim)
@@ -125,26 +148,42 @@ class Process(SimFuture):
         self._gen = gen
         self._waiting_on: Optional[SimFuture] = None
         self._interrupts: list[Interrupt] = []
+        #: seq of the pending fast-path timer heap entry, or -1 when not
+        #: waiting on one; the heap entry is stale unless its seq matches.
+        self._timer_seq = -1
+        self._timer_time = 0.0
         # Start the process at the current simulation time, but asynchronously
         # so the creator finishes its own step first.
-        sim.call_soon(lambda: self._step(None, None))
+        sim.call_soon(self._start)
+
+    def _start(self) -> None:
+        self._step(None, None)
 
     @property
     def alive(self) -> bool:
-        return not self.done
+        return not self._done
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield."""
-        if self.done:
+        if self._done:
             return
         self._interrupts.append(Interrupt(cause))
-        waiting = self._waiting_on
-        if waiting is not None:
+        sim = self.sim
+        if self._timer_seq != -1:
+            # Orphan the fast-path timer: its heap entry goes stale (seq
+            # mismatch), and a no-op placeholder keeps the clock advancing
+            # to the original deadline exactly as an orphaned timeout
+            # future did before the fast path existed.
+            self._timer_seq = -1
+            sim._note_heap_cancel()
+            sim.schedule(self._timer_time - sim._now, _noop)
+            sim.call_soon(self._deliver_interrupt)
+        elif self._waiting_on is not None:
             self._waiting_on = None
-            self.sim.call_soon(lambda: self._deliver_interrupt())
+            sim.call_soon(self._deliver_interrupt)
 
     def _deliver_interrupt(self) -> None:
-        if self.done or not self._interrupts:
+        if self._done or not self._interrupts:
             return
         exc = self._interrupts.pop(0)
         self._step(None, exc)
@@ -160,7 +199,7 @@ class Process(SimFuture):
             self._step(fut._value, None)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
-        if self.done:
+        if self._done:
             return
         try:
             if exc is not None:
@@ -178,46 +217,168 @@ class Process(SimFuture):
             return
         # Pending interrupts preempt whatever we were about to wait on.
         if self._interrupts:
-            pending = self._interrupts.pop(0)
-            self.sim.call_soon(lambda: self._step(None, pending))
+            self._preempt_interrupt()
+            return
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Fast path: schedule the generator resume directly on the heap.
+            # The only allocation is the heap tuple itself.  NOTE: this
+            # branch is mirrored inline in Simulator._run_unbounded — keep
+            # the two in sync.
+            if target < 0:
+                raise SimulationError(
+                    f"cannot schedule in the past (delay={target})"
+                )
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            when = sim._now + target
+            self._timer_seq = seq
+            self._timer_time = when
+            heappush(sim._queue, (when, seq, self))
+            qlen = len(sim._queue)
+            if qlen > sim._heap_peak:
+                sim._heap_peak = qlen
+            return
+        self._wait_target(target)
+
+    def _preempt_interrupt(self) -> None:
+        """A pending interrupt preempts the wait the generator just asked for."""
+        pending = self._interrupts.pop(0)
+        self.sim.call_soon(lambda: self._step(None, pending))
+
+    def _wait_target(self, target: Any) -> None:
+        """Handle a non-fast-path yield target (future, exotic number, junk)."""
+        if isinstance(target, SimFuture):
+            self._waiting_on = target
+            target.add_callback(self._on_wait_done)
             return
         if isinstance(target, (int, float)):
+            # Numeric but not exactly int/float (bool, numeric subclasses):
+            # take the general timeout path.
             target = self.sim.timeout(target)
-        if not isinstance(target, SimFuture):
-            self.set_exception(
-                SimulationError(f"process yielded non-awaitable: {target!r}")
-            )
+            self._waiting_on = target
+            target.add_callback(self._on_wait_done)
             return
-        self._waiting_on = target
-        target.add_callback(self._on_wait_done)
+        self.set_exception(
+            SimulationError(f"process yielded non-awaitable: {target!r}")
+        )
+
+
+def _noop() -> None:
+    return None
 
 
 class _ScheduledEvent:
     """A queue entry; the heap orders (time, seq) tuples, so instances
     themselves never need rich comparisons (hot path)."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "in_heap")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self, time: float, seq: int, callback: Callable[[], None], in_heap: bool
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.in_heap = in_heap
+
+
+class SimStats:
+    """A snapshot of the kernel's performance counters."""
+
+    __slots__ = (
+        "events_executed",
+        "microtasks_executed",
+        "heap_peak",
+        "cancellations_skipped",
+        "compactions",
+        "heap_size",
+        "microtask_backlog",
+    )
+
+    def __init__(
+        self,
+        events_executed: int,
+        microtasks_executed: int,
+        heap_peak: int,
+        cancellations_skipped: int,
+        compactions: int,
+        heap_size: int,
+        microtask_backlog: int,
+    ) -> None:
+        self.events_executed = events_executed
+        self.microtasks_executed = microtasks_executed
+        self.heap_peak = heap_peak
+        self.cancellations_skipped = cancellations_skipped
+        self.compactions = compactions
+        self.heap_size = heap_size
+        self.microtask_backlog = microtask_backlog
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"SimStats({fields})"
 
 
 class Simulator:
-    """The event loop: a priority queue of timestamped callbacks."""
+    """The event loop: a heap of timestamped callbacks plus a FIFO
+    microtask deque for zero-delay events."""
+
+    #: lazy-cancellation compaction kicks in once at least this many
+    #: cancelled entries linger in the heap *and* they outnumber the live
+    #: ones (amortised O(1) per cancellation, bounded queue length).
+    COMPACT_MIN_CANCELLED = 256
+
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_queue",
+        "_micro",
+        "_heap_cancelled",
+        "_events_executed",
+        "_microtasks_executed",
+        "_heap_peak",
+        "_cancellations_skipped",
+        "_compactions",
+    )
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        #: heap of (time, seq, event) — tuple comparison is the hot path
-        self._queue: list[tuple[float, int, _ScheduledEvent]] = []
+        #: heap of (time, seq, obj) where obj is a _ScheduledEvent or — for
+        #: the ``yield <number>`` fast path — the Process itself; a Process
+        #: entry is live iff its _timer_seq matches the tuple's seq.
+        self._queue: list[tuple[float, int, Any]] = []
+        #: FIFO of zero-delay _ScheduledEvents, in seq order.
+        self._micro: Deque[_ScheduledEvent] = deque()
+        self._heap_cancelled = 0
+        self._events_executed = 0
+        self._microtasks_executed = 0
+        self._heap_peak = 0
+        self._cancellations_skipped = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def stats(self) -> SimStats:
+        """Kernel performance counters (see DESIGN.md "Kernel performance")."""
+        return SimStats(
+            events_executed=self._events_executed,
+            microtasks_executed=self._microtasks_executed,
+            heap_peak=self._heap_peak,
+            cancellations_skipped=self._cancellations_skipped,
+            compactions=self._compactions,
+            heap_size=len(self._queue),
+            microtask_backlog=len(self._micro),
+        )
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -226,18 +387,64 @@ class Simulator:
         """Run ``callback`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = _ScheduledEvent(self._now + delay, self._seq, callback)
-        heapq.heappush(self._queue, (event.time, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0:
+            event = _ScheduledEvent(self._now, seq, callback, False)
+            self._micro.append(event)
+        else:
+            when = self._now + delay
+            event = _ScheduledEvent(when, seq, callback, True)
+            heappush(self._queue, (when, seq, event))
+            qlen = len(self._queue)
+            if qlen > self._heap_peak:
+                self._heap_peak = qlen
         return event
 
     def call_soon(self, callback: Callable[[], None]) -> _ScheduledEvent:
         """Run ``callback`` at the current time, after pending same-time events."""
-        return self.schedule(0.0, callback)
+        seq = self._seq
+        self._seq = seq + 1
+        event = _ScheduledEvent(self._now, seq, callback, False)
+        self._micro.append(event)
+        return event
 
     def cancel(self, event: _ScheduledEvent) -> None:
-        """Best-effort cancellation of a scheduled event."""
+        """Lazy cancellation of a scheduled event.
+
+        The entry stays queued but is skipped when reached; once cancelled
+        heap entries outnumber live ones (past a fixed floor) the heap is
+        compacted, so queue length stays bounded by O(live events).
+        """
+        if event.cancelled:
+            return
         event.cancelled = True
+        if event.in_heap:
+            self._note_heap_cancel()
+
+    def _note_heap_cancel(self) -> None:
+        self._heap_cancelled += 1
+        if (
+            self._heap_cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._heap_cancelled * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead entries (cancelled or stale)."""
+        alive = []
+        for entry in self._queue:
+            obj = entry[2]
+            if type(obj) is _ScheduledEvent:
+                if not obj.cancelled:
+                    alive.append(entry)
+            elif obj._timer_seq == entry[1]:
+                alive.append(entry)
+        heapify(alive)
+        self._cancellations_skipped += len(self._queue) - len(alive)
+        self._queue = alive
+        self._heap_cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Futures and processes
@@ -258,18 +465,175 @@ class Simulator:
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
+    def _prune_heap_head(self) -> None:
+        """Drop dead entries (cancelled events, stale fast timers) off the
+        top of the heap without advancing the clock."""
+        queue = self._queue
+        while queue:
+            _, seq, obj = queue[0]
+            if type(obj) is _ScheduledEvent:
+                if not obj.cancelled:
+                    return
+            elif obj._timer_seq == seq:
+                return
+            heappop(queue)
+            self._cancellations_skipped += 1
+            if self._heap_cancelled:
+                self._heap_cancelled -= 1
+
+    def _prune_micro_head(self) -> None:
+        micro = self._micro
+        while micro and micro[0].cancelled:
+            micro.popleft()
+            self._cancellations_skipped += 1
+
+    def _next_time(self) -> Optional[float]:
+        """Time of the next runnable entry, or None if the loop is drained."""
+        self._prune_micro_head()
+        self._prune_heap_head()
+        micro = self._micro
+        queue = self._queue
+        if micro:
+            if queue and queue[0][0] < micro[0].time:
+                return queue[0][0]
+            return micro[0].time
+        if queue:
+            return queue[0][0]
+        return None
+
     def step(self) -> bool:
-        """Execute the next scheduled event.  Returns False if none remain."""
-        while self._queue:
-            _, _, event = heapq.heappop(self._queue)
-            if event.cancelled:
+        """Execute the next scheduled event.  Returns False if none remain.
+
+        Ordering contract: among all pending entries, the one with the
+        smallest ``(time, seq)`` runs first — microtasks carry the seq they
+        were enqueued with, so zero-delay events interleave with same-time
+        heap events exactly as they did when everything lived on one heap.
+        """
+        micro = self._micro
+        queue = self._queue
+        now = self._now
+        if micro:
+            self._prune_micro_head()
+            self._prune_heap_head()
+            if micro:
+                mev = micro[0]
+                # A microtask's time is its enqueue time, which is <= now;
+                # a heap event only precedes it when scheduled for a time
+                # already reached AND with a smaller seq.
+                if not queue or queue[0][0] > now or queue[0][1] > mev.seq:
+                    micro.popleft()
+                    self._microtasks_executed += 1
+                    mev.callback()
+                    return True
+        # Heap dispatch, with dead entries (cancelled events, stale fast
+        # timers) skipped inline.
+        while queue:
+            when, seq, obj = heappop(queue)
+            if type(obj) is _ScheduledEvent:
+                if obj.cancelled:
+                    self._cancellations_skipped += 1
+                    if self._heap_cancelled:
+                        self._heap_cancelled -= 1
+                    continue
+                if when < now:
+                    raise SimulationError("event queue went backwards")
+                self._now = when
+                self._events_executed += 1
+                obj.callback()
+                return True
+            if obj._timer_seq != seq:
+                self._cancellations_skipped += 1
+                if self._heap_cancelled:
+                    self._heap_cancelled -= 1
                 continue
-            if event.time < self._now:
+            if when < now:
                 raise SimulationError("event queue went backwards")
-            self._now = event.time
-            event.callback()
+            self._now = when
+            self._events_executed += 1
+            obj._timer_seq = -1
+            obj._step(None, None)
             return True
         return False
+
+    def _run_unbounded(self) -> None:
+        """``run()`` with no until/condition/max_events: the hot loop.
+
+        Identical dispatch rules to :meth:`step`, inlined with hoisted
+        locals — this loop executes every event of a typical benchmark.
+        """
+        queue = self._queue
+        micro = self._micro
+        pop = heappop
+        event_cls = _ScheduledEvent
+        while True:
+            if micro:
+                # Microtask ordering is the rare, cold case: delegate.
+                if not self.step():
+                    return
+                continue
+            if not queue:
+                return
+            when, seq, obj = pop(queue)
+            if type(obj) is event_cls:
+                if obj.cancelled:
+                    self._cancellations_skipped += 1
+                    if self._heap_cancelled:
+                        self._heap_cancelled -= 1
+                    continue
+                if when < self._now:
+                    raise SimulationError("event queue went backwards")
+                self._now = when
+                self._events_executed += 1
+                obj.callback()
+                continue
+            if obj._timer_seq != seq:
+                self._cancellations_skipped += 1
+                if self._heap_cancelled:
+                    self._heap_cancelled -= 1
+                continue
+            # No backwards guard here: the fast path rejects negative
+            # delays at yield time, so a live timer can never be early.
+            self._now = when
+            self._events_executed += 1
+            obj._timer_seq = -1
+            # Inlined Process._step for the timer-resume case (the single
+            # hottest sequence in the kernel): resume the generator and,
+            # when it yields another plain number, push the next timer
+            # without any intermediate method call.  Mirrors Process._step —
+            # keep the two in sync.
+            if obj._done:
+                continue
+            try:
+                target = obj._gen.send(None)
+            except StopIteration as stop:
+                obj.set_result(stop.value)
+                continue
+            except Interrupt as unhandled:
+                obj.set_exception(unhandled)
+                continue
+            except BaseException as err:  # noqa: BLE001 - propagate into future
+                obj.set_exception(err)
+                continue
+            if obj._interrupts:
+                obj._preempt_interrupt()
+                continue
+            cls = target.__class__
+            if cls is float or cls is int:
+                if target < 0:
+                    raise SimulationError(
+                        f"cannot schedule in the past (delay={target})"
+                    )
+                seq = self._seq
+                self._seq = seq + 1
+                when += target
+                obj._timer_seq = seq
+                obj._timer_time = when
+                heappush(queue, (when, seq, obj))
+                qlen = len(queue)
+                if qlen > self._heap_peak:
+                    self._heap_peak = qlen
+                continue
+            obj._wait_target(target)
 
     def run(
         self,
@@ -282,15 +646,17 @@ class Simulator:
 
         ``max_events`` is a runaway-loop backstop for tests.
         """
+        if until is None and condition is None and max_events is None:
+            self._run_unbounded()
+            return
         executed = 0
-        while self._queue:
-            if condition is not None and condition.done:
+        while True:
+            if condition is not None and condition._done:
                 return
-            head = self._queue[0][2]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
+            head_time = self._next_time()
+            if head_time is None:
+                break
+            if until is not None and head_time > until:
                 self._now = until
                 return
             if max_events is not None and executed >= max_events:
@@ -309,7 +675,7 @@ class Simulator:
         simulated ``timeout`` elapses before resolution.
         """
         deadline = None if timeout is None else self._now + timeout
-        while not awaitable.done:
+        while not awaitable._done:
             if deadline is not None and self._now >= deadline:
                 raise SimulationError(f"timed out after {timeout} simulated seconds")
             if not self.step():
@@ -329,16 +695,16 @@ def all_of(sim: Simulator, futures: Iterable[SimFuture]) -> SimFuture:
         return result
     remaining = [len(futures)]
 
-    def on_done(_: SimFuture) -> None:
-        if result.done:
+    def on_done(fut: SimFuture) -> None:
+        # Only the future that just resolved can be newly failed — checking
+        # it alone keeps quorum waits O(n) total instead of O(n^2).
+        if result._done:
+            return
+        exc = fut._exception
+        if exc is not None:
+            result.set_exception(exc)
             return
         remaining[0] -= 1
-        failed = next(
-            (f for f in futures if f.done and f._exception is not None), None
-        )
-        if failed is not None:
-            result.set_exception(failed._exception)  # type: ignore[arg-type]
-            return
         if remaining[0] == 0:
             result.set_result([f._value for f in futures])
 
@@ -356,7 +722,7 @@ def any_of(sim: Simulator, futures: Iterable[SimFuture]) -> SimFuture:
 
     def make_callback(index: int) -> Callable[[SimFuture], None]:
         def on_done(fut: SimFuture) -> None:
-            if result.done:
+            if result._done:
                 return
             if fut._exception is not None:
                 result.set_exception(fut._exception)

@@ -1,4 +1,10 @@
-"""Generic simulation resources: FIFO servers, semaphores and queues."""
+"""Generic simulation resources: FIFO servers, semaphores and queues.
+
+These sit directly under the kernel on the hot path (every disk op and
+network message crosses a :class:`FifoServer`), so they avoid per-request
+closures: completions are delivered through a prebound method draining a
+FIFO of futures, and all classes use ``__slots__``.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +24,8 @@ class Resource:
     the holder must call ``release()`` exactly once per grant.
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
     def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError("capacity must be >= 1")
@@ -35,7 +43,7 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> SimFuture:
-        fut = self.sim.future()
+        fut = SimFuture(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
             fut.set_result(None)
@@ -61,19 +69,35 @@ class FifoServer:
     request enqueues it; the returned future resolves when the device has
     finished serving it.  Total throughput is therefore bounded by the
     service rate regardless of the number of concurrent submitters.
+
+    Completions are FIFO by construction (finish times are monotone in
+    submit order), so one prebound drain callback serves every request —
+    no per-request closure is allocated.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_busy_until",
+        "total_busy_time",
+        "ops_served",
+        "_completions",
+        "_complete_cb",
+    )
 
     def __init__(self, sim: Simulator, name: str = "server") -> None:
         self.sim = sim
         self.name = name
         self._busy_until = 0.0
-        self._pending = 0
         self.total_busy_time = 0.0
         self.ops_served = 0
+        #: futures for in-flight requests, in completion (== submit) order
+        self._completions: Deque[SimFuture] = deque()
+        self._complete_cb = self._complete
 
     @property
     def pending(self) -> int:
-        return self._pending
+        return len(self._completions)
 
     def utilization(self, since: float, now: Optional[float] = None) -> float:
         """Fraction of time busy over [since, now]. Approximate."""
@@ -85,20 +109,21 @@ class FifoServer:
         """Enqueue a request taking ``service_time`` seconds of device time."""
         if service_time < 0:
             raise SimulationError(f"negative service time: {service_time}")
-        start = max(self.sim.now, self._busy_until)
+        sim = self.sim
+        now = sim.now
+        busy = self._busy_until
+        start = now if now > busy else busy
         finish = start + service_time
         self._busy_until = finish
         self.total_busy_time += service_time
         self.ops_served += 1
-        self._pending += 1
-        fut = self.sim.future()
-
-        def complete() -> None:
-            self._pending -= 1
-            fut.set_result(None)
-
-        self.sim.schedule(finish - self.sim.now, complete)
+        fut = SimFuture(sim)
+        self._completions.append(fut)
+        sim.schedule(finish - now, self._complete_cb)
         return fut
+
+    def _complete(self) -> None:
+        self._completions.popleft().set_result(None)
 
     def backlog_seconds(self) -> float:
         """Seconds of already-queued work ahead of a new submission."""
@@ -107,6 +132,8 @@ class FifoServer:
 
 class Store:
     """An unbounded FIFO queue with blocking ``get``."""
+
+    __slots__ = ("sim", "_items", "_getters")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
@@ -123,7 +150,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> SimFuture:
-        fut = self.sim.future()
+        fut = SimFuture(self.sim)
         if self._items:
             fut.set_result(self._items.popleft())
         else:

@@ -1,0 +1,51 @@
+"""Golden-trace determinism tests for the optimized kernel.
+
+``tests/data/golden_kernel.json`` was captured from the pre-optimization
+kernel (plain heap, no fast paths).  These tests prove the optimized
+kernel — timeout fast path, microtask deque, lazy cancellation — executes
+the same mixed workload with a bit-identical (time, callback-order) trace
+and reproduces the Fig. 5 benchmark measurements exactly.
+"""
+
+import json
+import os
+
+import pytest
+
+from golden_kernel import build_fig05_numbers, build_trace
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_kernel.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def test_mixed_workload_trace_is_bit_identical(golden):
+    trace = [[time, label] for time, label in build_trace()]
+    assert trace == golden["trace"]
+
+
+def test_trace_exercises_every_ordering_rule(golden):
+    """Guard the golden workload itself: it must keep covering timeouts,
+    microtask interleaving, interrupts, combinators and cancellations."""
+    labels = [label for _, label in golden["trace"]]
+    assert "soon-1" in labels and "heap-zero" in labels  # micro vs heap order
+    assert labels.index("soon-1") < labels.index("heap-zero") < labels.index("soon-2")
+    assert any(label.startswith("tick-") for label in labels)  # fast-path timers
+    assert "sleeper-interrupted-race" in labels  # same-tick interrupt race
+    assert "sleeper2-interrupted-early" in labels  # interrupt cancels timer
+    assert any(label.startswith("all-of-") for label in labels)
+    assert any(label.startswith("any-of-") for label in labels)
+    assert "cancelled-4" in labels  # survivor of the cancelled batch
+    assert not any(label.startswith("cancelled-0") for label in labels)
+    assert "kept-timer" in labels and "doomed-timer" not in labels
+    # The orphaned 2.0s timer of the interrupted sleeper2 still advances
+    # the clock to its original deadline, exactly as before the fast path.
+    assert golden["trace"][-1] == [2.0, "end"]
+
+
+def test_fig05_numbers_are_bit_identical(golden):
+    assert build_fig05_numbers() == golden["fig05"]

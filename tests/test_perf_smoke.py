@@ -1,0 +1,34 @@
+"""Kernel perf smoke: catch gross wall-clock regressions in tier-1.
+
+Runs ``benchmarks/bench_kernel.py --check`` — trimmed scenarios under
+generous wall-clock budgets (an order of magnitude above current numbers,
+so only a catastrophic kernel regression trips it).  Also runnable as
+``make perf``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_kernel.py")
+
+
+@pytest.mark.perf
+def test_kernel_perf_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, BENCH, "--check"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"kernel perf smoke failed:\n{proc.stdout}\n{proc.stderr}"
+    )

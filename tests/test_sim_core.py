@@ -256,6 +256,310 @@ class TestProcess:
         ]
 
 
+class TestMicrotaskOrdering:
+    """call_soon / schedule(0) bypass the heap but must keep global
+    (time, seq) ordering relative to heap events."""
+
+    def test_call_soon_interleaves_with_same_time_heap_events(self, sim):
+        fired = []
+        sim.schedule(0.5, lambda: fired.append("later"))
+        sim.call_soon(lambda: fired.append("soon-1"))
+        sim.schedule(0.0, lambda: fired.append("zero-1"))
+        sim.call_soon(lambda: fired.append("soon-2"))
+        sim.run()
+        assert fired == ["soon-1", "zero-1", "soon-2", "later"]
+
+    def test_microtask_runs_before_future_heap_event(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("heap"))
+        sim.call_soon(lambda: fired.append("micro"))
+        sim.run()
+        assert fired == ["micro", "heap"]
+        assert sim.now == 1.0
+
+    def test_heap_event_at_current_time_with_lower_seq_precedes_microtask(self, sim):
+        fired = []
+
+        def at_one():
+            sim.schedule(0.0, lambda: fired.append("zero-a"))  # lower seq
+            sim.call_soon(lambda: fired.append("soon-b"))
+            sim.schedule(0.0, lambda: fired.append("zero-c"))
+
+        sim.schedule(1.0, at_one)
+        sim.run()
+        assert fired == ["zero-a", "soon-b", "zero-c"]
+
+    def test_nested_microtasks_run_fifo(self, sim):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.call_soon(lambda: fired.append("inner"))
+
+        sim.call_soon(outer)
+        sim.call_soon(lambda: fired.append("sibling"))
+        sim.run()
+        assert fired == ["outer", "sibling", "inner"]
+
+    def test_cancelled_microtask_does_not_fire(self, sim):
+        fired = []
+        handle = sim.call_soon(lambda: fired.append("cancelled"))
+        sim.call_soon(lambda: fired.append("kept"))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_microtasks_do_not_advance_clock(self, sim):
+        seen = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+        assert sim.now == 2.0
+
+
+class TestTimeoutFastPath:
+    """`yield <number>` schedules the resume directly on the heap."""
+
+    def test_yield_zero_runs_after_pending_same_time_events(self, sim):
+        fired = []
+
+        def body():
+            yield 0
+            fired.append("process")
+
+        sim.process(body())
+        sim.call_soon(lambda: fired.append("soon"))
+        sim.run()
+        assert fired == ["soon", "process"]
+
+    def test_yield_negative_raises(self, sim):
+        def body():
+            yield -1.0
+
+        sim.process(body())
+        with pytest.raises(SimulationError, match="past"):
+            sim.run()
+
+    def test_yield_bool_is_a_one_second_timeout(self, sim):
+        def body():
+            yield True
+            return sim.now
+
+        assert sim.run_until_complete(sim.process(body())) == 1.0
+
+    def test_fast_path_events_are_exactly_the_timers(self, sim):
+        def body():
+            for _ in range(5):
+                yield 0.1
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.done
+        assert sim.stats.events_executed == 5  # one per timer, nothing else
+        assert sim.stats.microtasks_executed == 1  # the process start
+
+    def test_interrupt_cancels_fast_timer_but_clock_still_advances(self, sim):
+        def body():
+            try:
+                yield 100.0
+            except Interrupt:
+                return "stopped"
+
+        proc = sim.process(body())
+        sim.schedule(1.0, lambda: proc.interrupt())
+        assert sim.run_until_complete(proc) == "stopped"
+        assert sim.now == 1.0
+        # The orphaned timer still advances the clock to its deadline when
+        # the loop drains — identical to the pre-fast-path kernel, where
+        # the orphaned timeout future's event fired as a no-op.
+        sim.run()
+        assert sim.now == 100.0
+
+    def test_interrupted_process_can_wait_again(self, sim):
+        def body():
+            try:
+                yield 50.0
+            except Interrupt:
+                pass
+            yield 1.0
+            return sim.now
+
+        proc = sim.process(body())
+        sim.schedule(2.0, lambda: proc.interrupt())
+        assert sim.run_until_complete(proc) == 3.0
+
+
+class TestInterruptFutureRace:
+    """A same-tick race between interrupt() and the awaited future's
+    resolution must deliver exactly one wakeup (the _waiting_on guard)."""
+
+    def test_interrupt_then_same_tick_resolution_delivers_interrupt(self, sim):
+        fut = sim.future()
+        outcomes = []
+
+        def body():
+            try:
+                value = yield fut
+                outcomes.append(("value", value))
+            except Interrupt as intr:
+                outcomes.append(("interrupt", intr.cause))
+            # The process must still be able to wait afterwards.
+            yield 0.5
+            outcomes.append(("after", sim.now))
+
+        proc = sim.process(body())
+        # Same tick, interrupt scheduled first: the wait is cancelled, the
+        # future's resolution must be dropped by the guard.
+        sim.schedule(1.0, lambda: proc.interrupt("boom"))
+        sim.schedule(1.0, lambda: fut.set_result("late"))
+        sim.run_until_complete(proc)
+        assert outcomes == [("interrupt", "boom"), ("after", 1.5)]
+        assert fut.done and fut.value == "late"
+
+    def test_resolution_then_same_tick_interrupt_delivers_value_then_interrupt(
+        self, sim
+    ):
+        fut = sim.future()
+        outcomes = []
+
+        def body():
+            value = yield fut
+            outcomes.append(("value", value))
+            try:
+                yield 10.0
+            except Interrupt as intr:
+                outcomes.append(("interrupt", intr.cause))
+
+        proc = sim.process(body())
+        sim.schedule(1.0, lambda: fut.set_result("first"))
+        sim.schedule(1.0, lambda: proc.interrupt("second"))
+        sim.run_until_complete(proc)
+        assert outcomes == [("value", "first"), ("interrupt", "second")]
+        assert sim.now == 1.0
+
+    def test_interrupt_before_resolution_tick_only_interrupts(self, sim):
+        fut = sim.future()
+        outcomes = []
+
+        def body():
+            try:
+                yield fut
+            except Interrupt:
+                outcomes.append("interrupted")
+                return
+            outcomes.append("resumed")
+
+        proc = sim.process(body())
+        sim.schedule(1.0, lambda: proc.interrupt())
+        sim.schedule(2.0, lambda: fut.set_result(None))
+        sim.run()
+        assert outcomes == ["interrupted"]
+        assert proc.done
+
+
+class TestCancellationCompaction:
+    def test_cancelled_timer_storm_keeps_heap_bounded(self, sim):
+        """Regression test for the cancel leak: cancelled events used to
+        stay in the heap until their deadline."""
+        live = 64
+        keepers = [sim.schedule(10_000.0, lambda: None) for _ in range(live)]
+        peak_during_storm = 0
+        for _ in range(200):
+            batch = [sim.schedule(5_000.0, lambda: None) for _ in range(100)]
+            for handle in batch:
+                sim.cancel(handle)
+            peak_during_storm = max(peak_during_storm, sim.stats.heap_size)
+        stats = sim.stats
+        # 20 000 cancellations happened, but compaction keeps the queue at
+        # O(live): never more than live + compaction threshold + one batch.
+        threshold = sim.COMPACT_MIN_CANCELLED
+        assert peak_during_storm <= live + 2 * threshold + 100
+        assert stats.heap_size <= live + 2 * threshold
+        assert stats.compactions > 0
+        assert keepers  # keepers still live
+
+    def test_compaction_preserves_live_events(self, sim):
+        fired = []
+        for i in range(300):
+            handle = sim.schedule(1.0 + i, lambda i=i: fired.append(("dead", i)))
+            sim.cancel(handle)
+        sim.schedule(0.5, lambda: fired.append("live-early"))
+        for i in range(300):
+            handle = sim.schedule(2.0 + i, lambda: None)
+            sim.cancel(handle)
+        sim.schedule(700.0, lambda: fired.append("live-late"))
+        sim.run()
+        assert fired == ["live-early", "live-late"]
+        assert sim.now == 700.0
+
+    def test_compaction_preserves_pending_fast_timers(self, sim):
+        done = []
+
+        def body():
+            yield 500.0
+            done.append(sim.now)
+
+        sim.process(body())
+        sim.run(until=1.0)  # let the process arm its fast timer
+        for _ in range(600):
+            sim.cancel(sim.schedule(100.0, lambda: None))
+        assert sim.stats.compactions > 0
+        sim.run()
+        assert done == [500.0]
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        sim.cancel(handle)
+        sim.run()
+        assert sim.stats.cancellations_skipped == 1
+
+
+class TestStats:
+    def test_counters_for_mixed_run(self, sim):
+        def body():
+            yield 0.5
+            yield 0.5
+
+        sim.process(body())  # start microtask + 2 fast-timer events
+        sim.schedule(1.0, lambda: None)  # 1 heap event
+        sim.call_soon(lambda: None)  # 1 microtask
+        cancelled = sim.schedule(2.0, lambda: None)
+        sim.cancel(cancelled)  # 1 skipped cancellation
+        sim.run()
+        stats = sim.stats
+        assert stats.events_executed == 3
+        assert stats.microtasks_executed == 2
+        assert stats.cancellations_skipped == 1
+        assert stats.heap_peak >= 2
+        assert stats.heap_size == 0
+        assert stats.microtask_backlog == 0
+
+    def test_snapshot_round_trips(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        snap = sim.stats.snapshot()
+        assert snap["events_executed"] == 1
+        assert set(snap) == {
+            "events_executed",
+            "microtasks_executed",
+            "heap_peak",
+            "cancellations_skipped",
+            "compactions",
+            "heap_size",
+            "microtask_backlog",
+        }
+
+    def test_heap_peak_tracks_fast_timers(self, sim):
+        def body():
+            yield 1.0
+
+        for _ in range(10):
+            sim.process(body())
+        sim.run()
+        assert sim.stats.heap_peak >= 10
+
+
 class TestCombinators:
     def test_all_of_collects_values(self, sim):
         futures = [sim.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
@@ -272,6 +576,30 @@ class TestCombinators:
         sim.schedule(0.5, lambda: bad.set_exception(ValueError("x")))
         with pytest.raises(ValueError):
             sim.run_until_complete(all_of(sim, [good, bad]))
+
+    def test_all_of_propagates_exception_from_last_resolver(self, sim):
+        goods = [sim.timeout(t) for t in (0.1, 0.2, 0.3)]
+        bad = sim.future()
+        sim.schedule(5.0, lambda: bad.set_exception(KeyError("late")))
+        with pytest.raises(KeyError):
+            sim.run_until_complete(all_of(sim, goods + [bad]))
+
+    def test_all_of_with_already_failed_future(self, sim):
+        bad = sim.future()
+        bad.set_exception(ValueError("pre"))
+        combined = all_of(sim, [bad, sim.timeout(1.0)])
+        assert combined.done
+        with pytest.raises(ValueError):
+            _ = combined.value
+
+    def test_all_of_large_quorum_is_linear(self, sim):
+        # The old implementation rescanned every future per completion
+        # (O(n^2)); with 2000 futures that took ~seconds.  Sanity-check the
+        # result; the perf harness guards the complexity.
+        n = 2000
+        futures = [sim.timeout(0.001 * (i % 7), value=i) for i in range(n)]
+        combined = all_of(sim, futures)
+        assert sim.run_until_complete(combined) == list(range(n))
 
     def test_any_of_returns_first(self, sim):
         futures = [sim.timeout(3.0, value="slow"), sim.timeout(1.0, value="fast")]
