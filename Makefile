@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf bench-kernel
+.PHONY: test perf bench-kernel fuzz
 
 ## tier-1 verification: the full unit/property/bench-harness suite
+## (includes the seeded fault-injection smoke, marker: faults)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## seeded crash-consistency fuzz across all three systems; failing
+## schedules are dumped as replayable JSON under tests/data/
+fuzz:
+	$(PYTHON) -m repro.faults.fuzz --seed $(or $(SEED),42) --steps $(or $(STEPS),200)
 
 ## wall-clock kernel regression smoke (generous budgets, CI-friendly)
 perf:

@@ -66,14 +66,23 @@ def run_workload(
     spec: WorkloadSpec,
     probe: Optional[Callable[[float, BenchResult], None]] = None,
     probe_interval: float = 1.0,
+    fault_engine=None,
 ) -> BenchResult:
-    """Run one workload to completion and return its measurements."""
+    """Run one workload to completion and return its measurements.
+
+    With ``fault_engine`` (a started-or-not :class:`repro.faults.FaultEngine`
+    already wired into the system under test) the engine's schedule starts
+    when load starts, and the injected-fault counts land in
+    ``result.extra`` — fault-aware benchmarking.
+    """
     result = BenchResult(
         label=f"{adapter.name} p={spec.partitions} w={spec.producers}",
         target_rate=spec.target_rate,
     )
     counters = _Counters()
     adapter.setup(spec.partitions)
+    if fault_engine is not None:
+        fault_engine.start()
     if hasattr(adapter, "total_consumers"):
         adapter.total_consumers = max(spec.consumers, 1)
 
@@ -234,6 +243,12 @@ def run_workload(
     result.crashed = bool(getattr(adapter, "crashed", False))
     result.extra["produced_total"] = float(counters.produced_events)
     result.extra["consumed_total"] = float(counters.consumed_events)
+    if fault_engine is not None:
+        fault_engine.quiesce()
+        result.extra["faults_injected"] = float(len(fault_engine.injected))
+        for _, action, _target in fault_engine.injected:
+            key = f"faults.{action}"
+            result.extra[key] = result.extra.get(key, 0.0) + 1.0
     return result
 
 

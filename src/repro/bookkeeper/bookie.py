@@ -18,6 +18,7 @@ configuration of Fig. 5, where journal writes land in the page cache.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -67,6 +68,13 @@ class Bookie:
         self.entries_journaled = 0
         self.journal_batches = 0
         self.bytes_journaled = 0
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = None
+        #: journaled-but-unsynced entries, oldest first, as
+        #: (ledger_id, entry_id, wire_size) — the candidates for loss when a
+        #: crash discards the page cache (journal_sync=False only)
+        self._unsynced: deque = deque()
+        self._unsynced_bytes = 0
 
     # ------------------------------------------------------------------
     # Write path
@@ -75,6 +83,8 @@ class Bookie:
         """Store ``entry``; resolves once the journal write is durable
         (or cached, if ``journal_sync`` is off)."""
         fut = self.sim.future()
+        if self.faults is not None:
+            self.faults.node_op(self.name)
         if not self.alive:
             fut.set_exception(BookkeeperError(f"bookie {self.name} is down"))
             return fut
@@ -95,18 +105,52 @@ class Bookie:
         while self._journal_queue:
             batch, self._journal_queue = self._journal_queue, []
             total = sum(r.entry.payload.size + ENTRY_OVERHEAD for r in batch)
-            if self.journal_sync:
-                yield self.journal_disk.write(journal_file, total, sync=True)
-            else:
-                yield self.page_cache.write(journal_file, total)
+            try:
+                if self.journal_sync:
+                    yield self.journal_disk.write(journal_file, total, sync=True)
+                else:
+                    yield self.page_cache.write(journal_file, total)
+            except Exception as exc:
+                # journal device failure: this batch is lost, the loop
+                # keeps serving later requests (the device may recover)
+                for request in batch:
+                    if not request.future.done:
+                        request.future.set_exception(
+                            BookkeeperError(
+                                f"journal write failed on {self.name}: {exc}"
+                            )
+                        )
+                continue
+            if not self.alive:
+                # crashed while the batch was in flight: never acked
+                for request in batch:
+                    if not request.future.done:
+                        request.future.set_exception(
+                            BookkeeperError(f"bookie {self.name} crashed")
+                        )
+                continue
             self.journal_batches += 1
             self.entries_journaled += len(batch)
             self.bytes_journaled += total
             for request in batch:
-                ledger = self._ledgers.setdefault(request.entry.ledger_id, {})
-                ledger[request.entry.entry_id] = request.entry
+                entry = request.entry
+                ledger = self._ledgers.setdefault(entry.ledger_id, {})
+                ledger[entry.entry_id] = entry
+                if not self.journal_sync:
+                    wire = entry.payload.size + ENTRY_OVERHEAD
+                    self._unsynced.append((entry.ledger_id, entry.entry_id, wire))
+                    self._unsynced_bytes += wire
                 if not request.future.done:
-                    request.future.set_result(request.entry.entry_id)
+                    request.future.set_result(entry.entry_id)
+            if not self.journal_sync:
+                # entries already written back can no longer be lost;
+                # keep only the (possibly still dirty) tail
+                dirty = self.page_cache.dirty_for(journal_file)
+                while (
+                    self._unsynced
+                    and self._unsynced_bytes - self._unsynced[0][2] >= dirty
+                ):
+                    self._unsynced_bytes -= self._unsynced.popleft()[2]
         self._journal_running = False
 
     # ------------------------------------------------------------------
@@ -153,8 +197,14 @@ class Bookie:
         )
 
     # ------------------------------------------------------------------
-    def crash(self) -> None:
-        """Fail-stop: reject everything until restarted."""
+    def crash(self, lose_unsynced: bool = False) -> None:
+        """Fail-stop: reject everything until restarted.
+
+        With ``lose_unsynced=True`` (and ``journal_sync=False``) the
+        journal bytes still dirty in the page cache are discarded and
+        the entries they carried are removed, newest first — the
+        power-loss outcome of the Fig. 5 "no flush" configuration.
+        """
         self.alive = False
         pending, self._journal_queue = self._journal_queue, []
         for request in pending:
@@ -162,6 +212,18 @@ class Bookie:
                 request.future.set_exception(
                     BookkeeperError(f"bookie {self.name} crashed")
                 )
+        if lose_unsynced:
+            journal_file = f"journal:{self.name}"
+            dirty = self.page_cache.drop_file(journal_file)
+            lost = 0
+            while self._unsynced and lost < dirty:
+                ledger_id, entry_id, wire = self._unsynced.pop()
+                lost += wire
+                ledger = self._ledgers.get(ledger_id)
+                if ledger is not None:
+                    ledger.pop(entry_id, None)
+            self._unsynced.clear()
+            self._unsynced_bytes = 0
 
     def restart(self) -> None:
         """Restart after a crash.

@@ -146,3 +146,15 @@ class BrokerCrashedError(PulsarError):
 
 class BackpressureError(ReproError):
     """Ingestion was throttled and the caller chose not to wait."""
+
+
+class FaultInjectionError(ReproError):
+    """Base class for failures injected by the fault engine (repro.faults)."""
+
+
+class DiskFaultError(FaultInjectionError):
+    """An injected disk failure: the I/O completes with a device error."""
+
+
+class InjectedCrashError(FaultInjectionError):
+    """An injected process crash fired inside a code path (e.g. recovery)."""

@@ -74,15 +74,18 @@ class RateMeter:
         if self._last_time is None:
             self._last_time = now
             self._rate = 0.0
-        elapsed = now - self._last_time
-        if elapsed <= 0:
+        # Out-of-order samples (now < _last_time) are clamped onto the
+        # same-instant path; rewinding the meter's clock would make the
+        # next sample's elapsed span the rewound gap twice.
+        elapsed = max(now - self._last_time, 0.0)
+        if elapsed == 0.0:
             # Same-instant samples accumulate into the current estimate via
             # a small nominal interval to avoid division by zero.
             elapsed = 1e-6
         instantaneous = amount / elapsed
         alpha = 1.0 - math.exp(-elapsed * math.log(2.0) / self.half_life)
         self._rate += alpha * (instantaneous - self._rate)
-        self._last_time = now
+        self._last_time = max(self._last_time, now)
 
     def decay_to(self, now: float) -> float:
         """Rate estimate at ``now`` assuming no events since the last record."""

@@ -1,0 +1,45 @@
+"""repro.faults: deterministic fault injection + crash-consistency checking.
+
+Compose a :class:`FaultPlan` (or derive one from a seed), run it with a
+:class:`FaultEngine` wired into a cluster, and judge the surviving
+history with :func:`check_history` / :class:`HistoryOracle`.  The
+``python -m repro.faults.fuzz`` entry point explores random schedules
+reproducibly.
+"""
+
+from .engine import FaultEngine
+from .oracle import (
+    HistoryOracle,
+    check_history,
+    check_pravega_tiering,
+    decode_event,
+    encode_event,
+)
+from .plan import FaultPlan, FaultRule
+from .scenarios import (
+    ScenarioResult,
+    run_kafka,
+    run_pravega,
+    run_pulsar,
+    wire_kafka,
+    wire_pravega,
+    wire_pulsar,
+)
+
+__all__ = [
+    "FaultEngine",
+    "FaultPlan",
+    "FaultRule",
+    "HistoryOracle",
+    "ScenarioResult",
+    "check_history",
+    "check_pravega_tiering",
+    "decode_event",
+    "encode_event",
+    "run_kafka",
+    "run_pravega",
+    "run_pulsar",
+    "wire_kafka",
+    "wire_pravega",
+    "wire_pulsar",
+]

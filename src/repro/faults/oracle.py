@@ -1,0 +1,171 @@
+"""Crash-consistency oracle.
+
+The oracle records the ground truth of a workload — every event a
+client *sent*, which of those were *acked*, and what a reader
+*observed* after faults plus recovery — then checks the durability
+contract the paper claims (§3.3):
+
+1. **No acked event is lost**: every (key, seq) whose ack future
+   resolved successfully is observed during readback.
+2. **Per-routing-key order is preserved**: for each key, the sequence
+   of first occurrences observed is strictly increasing (the paper's
+   per-routing-key ordering guarantee, §2).  With
+   ``allow_duplicates`` (Pulsar's at-least-once contract), repeats of
+   an already-seen event are tolerated; re-deliveries must still not
+   reorder *new* events.
+3. **Tiered LTS bytes match the journal** (Pravega only,
+   :func:`check_pravega_tiering`): chunk metadata is contiguous, each
+   chunk exists in LTS with exactly the recorded length, and the
+   flushed offset never exceeds the applied (WAL-acked) length.
+
+Events carry their identity in their payload — ``b"key|seq"`` — so
+observation needs no side channel: readback simply parses what the
+system returns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["HistoryOracle", "check_history", "check_pravega_tiering"]
+
+
+def encode_event(key: str, seq: int) -> bytes:
+    return f"{key}|{seq}".encode()
+
+
+def decode_event(data: bytes) -> Tuple[str, int]:
+    key, _, seq = data.decode().rpartition("|")
+    return key, int(seq)
+
+
+def check_history(
+    acked: Set[Tuple[str, int]],
+    observed: Dict[str, List[int]],
+    *,
+    allow_duplicates: bool = False,
+) -> List[str]:
+    """Check acked-durability and per-key ordering; return violations.
+
+    ``acked``: the set of (key, seq) the system acknowledged.
+    ``observed``: per key, the sequence numbers in readback order.
+    """
+    violations: List[str] = []
+    observed_set = {
+        (key, seq) for key, seqs in observed.items() for seq in seqs
+    }
+    # 1. every acked event observed
+    lost = sorted(acked - observed_set)
+    for key, seq in lost:
+        violations.append(f"lost acked event {key}|{seq}")
+    # 2. per-key order: first occurrences strictly increasing
+    for key, seqs in sorted(observed.items()):
+        seen: Set[int] = set()
+        last_new = -1
+        for seq in seqs:
+            if seq in seen:
+                if not allow_duplicates:
+                    violations.append(f"duplicate event {key}|{seq}")
+                continue
+            if seq < last_new:
+                violations.append(
+                    f"order violation on key {key}: {seq} after {last_new}"
+                )
+            seen.add(seq)
+            last_new = max(last_new, seq)
+    return violations
+
+
+class HistoryOracle:
+    """Records sent/acked/observed events for one workload run."""
+
+    def __init__(self) -> None:
+        self._next_seq: Dict[str, int] = {}
+        self.sent: Set[Tuple[str, int]] = set()
+        self.acked: Set[Tuple[str, int]] = set()
+        self.failed: Set[Tuple[str, int]] = set()
+        self.observed: Dict[str, List[int]] = {}
+
+    # ---- write side ----
+    def next_event(self, key: str) -> Tuple[bytes, int]:
+        """Mint the next event for ``key``: returns (payload, seq)."""
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        self.sent.add((key, seq))
+        return encode_event(key, seq), seq
+
+    def mark_acked(self, key: str, seq: int) -> None:
+        self.acked.add((key, seq))
+
+    def mark_failed(self, key: str, seq: int) -> None:
+        self.failed.add((key, seq))
+
+    # ---- read side ----
+    def observe(self, key: str, seq: int) -> None:
+        self.observed.setdefault(key, []).append(seq)
+
+    def observe_bytes(self, data: bytes) -> None:
+        key, seq = decode_event(data)
+        self.observe(key, seq)
+
+    # ---- verdict ----
+    def check(self, *, allow_duplicates: bool = False) -> List[str]:
+        return check_history(
+            self.acked, self.observed, allow_duplicates=allow_duplicates
+        )
+
+    def summary(self) -> str:
+        n_obs = sum(len(v) for v in self.observed.values())
+        return (
+            f"sent={len(self.sent)} acked={len(self.acked)} "
+            f"failed={len(self.failed)} observed={n_obs}"
+        )
+
+
+def check_pravega_tiering(cluster) -> List[str]:
+    """Verify that tiered LTS state matches container metadata.
+
+    For every hosted segment: chunks are contiguous from the first
+    chunk's start offset, each chunk object exists in LTS with the
+    recorded length, the recorded storage length equals the last chunk
+    end, and the flushed prefix never exceeds the applied length.
+    """
+    violations: List[str] = []
+    lts = cluster.lts
+    for store in cluster.store_cluster.stores.values():
+        for container in store.containers.values():
+            if not getattr(container, "online", False):
+                continue
+            writer = container.storage_writer
+            for segment, chunks in writer.chunks.items():
+                prev_end = None
+                for chunk in chunks:
+                    if prev_end is not None and chunk.start_offset != prev_end:
+                        violations.append(
+                            f"{segment}: chunk gap at {chunk.start_offset} "
+                            f"(expected {prev_end})"
+                        )
+                    if not lts.exists(chunk.chunk_name):
+                        violations.append(
+                            f"{segment}: chunk missing from LTS: {chunk.chunk_name}"
+                        )
+                    elif lts.chunk_size(chunk.chunk_name) != chunk.length:
+                        violations.append(
+                            f"{segment}: chunk {chunk.chunk_name} size "
+                            f"{lts.chunk_size(chunk.chunk_name)} != recorded "
+                            f"{chunk.length}"
+                        )
+                    prev_end = chunk.end_offset
+                storage_len = writer.storage_length.get(segment, 0)
+                if prev_end is not None and storage_len != prev_end:
+                    violations.append(
+                        f"{segment}: storage_length {storage_len} != "
+                        f"last chunk end {prev_end}"
+                    )
+                meta = container.segments.get(segment)
+                if meta is not None and storage_len > meta.length:
+                    violations.append(
+                        f"{segment}: flushed {storage_len} beyond applied "
+                        f"length {meta.length}"
+                    )
+    return violations

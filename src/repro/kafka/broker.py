@@ -53,6 +53,8 @@ class KafkaBroker:
         self.request_processing_time = request_processing_time
         self.logs: Dict[TopicPartition, PartitionLog] = {}
         self.alive = True
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = None
         #: tail-fetch waiters per partition
         self._fetch_waiters: Dict[TopicPartition, List[Tuple[int, SimFuture]]] = {}
 
@@ -71,6 +73,8 @@ class KafkaBroker:
         self, tp: TopicPartition, payload: Payload, record_count: int,
         producer_id: str = "", sequence: int = -1
     ) -> SimFuture:
+        if self.faults is not None:
+            self.faults.node_op(self.name)
         if not self.alive:
             fut = self.sim.future()
             fut.set_exception(KafkaError(f"broker {self.name} is down"))
@@ -98,8 +102,16 @@ class KafkaBroker:
                 remaining.append((offset, fut))
         self._fetch_waiters[tp] = remaining
 
-    def crash(self) -> None:
+    def crash(self, lose_unsynced: bool = False) -> None:
+        """Fail-stop; with ``lose_unsynced`` the page-cache-dirty tail of
+        every hosted log is discarded (power loss without flush)."""
         self.alive = False
+        if lose_unsynced:
+            for log in self.logs.values():
+                log.lose_unsynced_tail()
+
+    def restart(self) -> None:
+        self.alive = True
 
     def wait_for_data(self, tp: TopicPartition, offset: int) -> SimFuture:
         fut = self.sim.future()

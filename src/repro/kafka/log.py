@@ -127,6 +127,28 @@ class PartitionLog:
                 break
         return result
 
+    def lose_unsynced_tail(self) -> int:
+        """Discard the batches whose bytes were still dirty in the page
+        cache (crash without flush, the Fig. 5 "no flush" power-loss
+        outcome).  Returns the number of batches lost."""
+        dirty = self.page_cache.drop_file(self.name)
+        lost_bytes = 0
+        lost = 0
+        while self.batches and lost_bytes < dirty:
+            batch = self.batches.pop()
+            lost_bytes += batch.payload.size + BATCH_OVERHEAD
+            lost += 1
+        if lost:
+            self.leo = self.batches[-1].last_offset + 1 if self.batches else 0
+            self.size_bytes = max(0, self.size_bytes - lost_bytes)
+            # the producer-dedup table re-derives from the surviving log:
+            # a lost batch's sequence must be appendable again on retry
+            self._producer_sequences = {}
+            for batch in self.batches:
+                if batch.producer_id and batch.sequence >= 0:
+                    self._producer_sequences[batch.producer_id] = batch.sequence
+        return lost
+
     def truncate_to(self, offset: int) -> None:
         """Drop batches above ``offset`` (follower truncation on leader change)."""
         kept = [b for b in self.batches if b.last_offset < offset]

@@ -134,11 +134,14 @@ class SegmentContainer:
         lts: LongTermStorage,
         config: Optional[ContainerConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.container_id = container_id
         self.config = config or ContainerConfig()
         self.metrics = metrics or MetricsRegistry()
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = faults
         self.segments: Dict[str, SegmentState] = {}
         self.cache = BlockCache(self.config.cache)
         self.cache_manager = CacheManager(self.cache)
@@ -150,10 +153,11 @@ class SegmentContainer:
             zk,
             self.config.durable_log,
             apply_callback=self._apply,
+            faults=faults,
         )
         self.durable_log.on_fatal = self._on_wal_failure
         self.storage_writer = StorageWriter(
-            sim, container_id, lts, self.config.storage
+            sim, container_id, lts, self.config.storage, faults=faults
         )
         self.storage_writer.on_flush = self._on_flush
         self.storage_writer.on_truncation_candidate = self._on_truncation_candidate
@@ -200,6 +204,7 @@ class SegmentContainer:
                 self.durable_log.bk_client,
                 self.durable_log.zk,
                 self.config.durable_log,
+                faults=self.faults,
             )
             self.durable_log = new_log
             self.durable_log.apply_callback = self._apply

@@ -93,6 +93,7 @@ class DurableLog:
         zk: ZkClient,
         config: Optional[DurableLogConfig] = None,
         apply_callback: Optional[Callable[[Operation], None]] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.container_id = container_id
@@ -100,6 +101,8 @@ class DurableLog:
         self.zk = zk
         self.config = config or DurableLogConfig()
         self.apply_callback = apply_callback or (lambda op: None)
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = faults
         self._queue: deque[_QueuedOperation] = deque()
         self._next_sequence = 0
         self._writer_running = False
@@ -233,7 +236,17 @@ class DurableLog:
             # Ledger rollover.
             ledger_info = self._ledgers[-1]
             if ledger_info.size + frame_size > config.ledger_rollover_bytes:
-                yield from self._roll_ledger()
+                try:
+                    yield from self._roll_ledger()
+                except Exception as exc:
+                    # Rollover needs zookeeper (ledger-list persist) and
+                    # Bookkeeper; losing either mid-roll is fatal for the
+                    # container, never a hang for queued operations.
+                    for queued in batch:
+                        if not queued.future.done:
+                            queued.future.set_exception(exc)
+                    self.shutdown(exc)
+                    return
                 ledger_info = self._ledgers[-1]
 
             started = self.sim.now
@@ -309,6 +322,7 @@ class DurableLog:
         bk_client: BookKeeperClient,
         zk: ZkClient,
         config: Optional[DurableLogConfig] = None,
+        faults=None,
     ) -> SimFuture:
         """Fence the previous owner's ledgers and replay their frames.
 
@@ -316,11 +330,19 @@ class DurableLog:
         :class:`DataFrame` objects and a fresh, started :class:`DurableLog`
         ready for new operations.  The new log's sequence numbers continue
         after the recovered ones.
+
+        Recovery itself runs under the fault engine: each replay step
+        reports to ``faults.recovery_step``, which may crash recovery
+        (``InjectedCrashError``).  A crashed recovery leaves no partial
+        new state — fencing is idempotent, so the caller simply retries.
         """
-        log = DurableLog(sim, container_id, bk_client, zk, config)
+        log = DurableLog(sim, container_id, bk_client, zk, config, faults=faults)
+        site = f"container-{container_id}"
 
         def run():
             frames: List[DataFrame] = []
+            if faults is not None:
+                faults.recovery_step(site)
             try:
                 data, _ = yield zk.get(log.zk_path)
                 ledger_ids = json.loads(data.decode()) if data else []
@@ -329,6 +351,9 @@ class DurableLog:
             for ledger_id in ledger_ids:
                 if bk_client.cluster.ledger_manager.lookup(ledger_id) is None:
                     continue  # already truncated
+                if faults is not None:
+                    # replay is re-injectable: a crash here aborts recovery
+                    faults.recovery_step(site)
                 handle = yield bk_client.open_ledger_with_recovery(ledger_id)
                 last = handle.metadata.last_entry_id
                 if last >= 0:

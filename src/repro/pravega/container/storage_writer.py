@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro.common.errors import StorageError
 from repro.common.payload import Payload
 from repro.lts.base import LongTermStorage
 from repro.sim.core import SimFuture, Simulator
@@ -74,11 +75,14 @@ class StorageWriter:
         container_id: int,
         lts: LongTermStorage,
         config: Optional[StorageWriterConfig] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.container_id = container_id
         self.lts = lts
         self.config = config or StorageWriterConfig()
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = faults
         self._pending: Dict[str, _PendingData] = {}
         #: segments with a flush loop currently running (one per segment)
         self._flushing: set[str] = set()
@@ -194,7 +198,29 @@ class StorageWriter:
                     start_offset=pending.start_offset,
                     length=payload.size,
                 )
-                yield self.lts.write_chunk(chunk.chunk_name, payload)
+                try:
+                    if self.faults is not None:
+                        extra = self.faults.lts_op(f"container-{self.container_id}")
+                        if extra:
+                            yield self.sim.timeout(extra)
+                    try:
+                        yield self.lts.write_chunk(chunk.chunk_name, payload)
+                    except StorageError:
+                        if not self.lts.exists(chunk.chunk_name):
+                            raise
+                        # A pre-crash incarnation already wrote this chunk
+                        # name: tiering is idempotent (§4.3), and the
+                        # rewrite covers at least the old bytes (recovery
+                        # re-feeds the same WAL data) — replace it.
+                        yield self.lts.delete_chunk(chunk.chunk_name)
+                        yield self.lts.write_chunk(chunk.chunk_name, payload)
+                except Exception:
+                    # transient LTS failure: re-buffer and retry shortly
+                    self._requeue(segment, pending)
+                    if not self._running:
+                        return
+                    yield self.sim.timeout(0.05)
+                    continue
                 self.chunks.setdefault(segment, []).append(chunk)
                 self.storage_length[segment] = chunk.end_offset
                 self.chunks_written += 1
@@ -214,6 +240,15 @@ class StorageWriter:
                     return
         finally:
             self._flushing.discard(segment)
+
+    def _requeue(self, segment: str, pending: _PendingData) -> None:
+        """Put a failed flush buffer back, in front of any newer buffer."""
+        follow_on = self._pending.get(segment)
+        if follow_on is not None:
+            pending.pieces.extend(follow_on.pieces)
+            pending.size += follow_on.size
+            pending.sequences.extend(follow_on.sequences)
+        self._pending[segment] = pending
 
     def flush_all(self) -> SimFuture:
         """Force-flush every pending buffer (used by tests and shutdown)."""

@@ -67,6 +67,8 @@ class SegmentStore:
         self.containers: Dict[int, SegmentContainer] = {}
         self.alive = True
         self.bytes_ingested = 0
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.fault_engine = None
 
     # ------------------------------------------------------------------
     # Container hosting
@@ -82,6 +84,7 @@ class SegmentStore:
             self.lts,
             self.config.container,
             self.metrics,
+            faults=self.fault_engine,
         )
         self.containers[container_id] = container
         return container.recover() if recover else container.start()
@@ -373,5 +376,35 @@ class SegmentStoreCluster:
             for recovery in recoveries:
                 yield recovery
             return len(orphaned)
+
+        return self.sim.process(run())
+
+    def recover_container(self, container_id: int) -> SimFuture:
+        """Re-home and recover one container (fault-injection heal path).
+
+        Unlike :meth:`fail_store` this targets a single container whose
+        owner crashed or whose WAL fail-stopped; the container is moved
+        to a live store (possibly the same one, restarted) and recovered
+        from its fenced WAL (§4.4).
+        """
+
+        def run():
+            survivors = sorted(n for n, s in self.stores.items() if s.alive)
+            if not survivors:
+                raise ContainerOfflineError("no surviving segment stores")
+            previous = self._assignment.get(container_id)
+            target = survivors[container_id % len(survivors)]
+            if previous is not None and previous != target:
+                # drop any stale (offline) instance left on the old owner
+                self.stores[previous].containers.pop(container_id, None)
+            else:
+                self.stores[target].containers.pop(container_id, None)
+            self._assignment[container_id] = target
+            yield self._zk.set(
+                f"/pravega/cluster/containers/{container_id}",
+                target.encode(),
+            )
+            yield self.stores[target].host_container(container_id, recover=True)
+            return target
 
         return self.sim.process(run())

@@ -142,6 +142,8 @@ class PulsarBroker:
         self.cpu = FifoServer(sim, name=f"cpu:{name}")
         self.ledgers: Dict[str, ManagedLedger] = {}
         self.alive = True
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = None
         #: bytes sent to bookies but not yet confirmed by *all* replicas
         self.replication_buffer = 0
         self._offload_queue: List[Tuple[ManagedLedger, _LedgerRecord]] = []
@@ -167,6 +169,9 @@ class PulsarBroker:
                     fut.set_exception(BrokerCrashedError(f"{self.name}: {reason}"))
         self._dispatch_waiters.clear()
 
+    def restart(self) -> None:
+        self.alive = True
+
     # ------------------------------------------------------------------
     # Produce path
     # ------------------------------------------------------------------
@@ -179,6 +184,8 @@ class PulsarBroker:
             yield self.network.transfer(
                 client_host, self.name, payload.size + RPC_OVERHEAD
             )
+            if self.faults is not None:
+                self.faults.node_op(self.name)
             if not self.alive:
                 raise BrokerCrashedError(self.name)
             yield self.sim.timeout(self.config.request_processing_time)

@@ -60,6 +60,10 @@ class Disk:
         self.bytes_written = 0
         self.ops = 0
         self.switches = 0
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = None
+        #: node name used to match fault-rule targets
+        self.node = ""
 
     @property
     def pending_ops(self) -> int:
@@ -87,6 +91,16 @@ class Disk:
         if nbytes < 0:
             raise SimulationError(f"negative write size: {nbytes}")
         cost = self.service_time(file_id, nbytes, sync)
+        if self.faults is not None:
+            try:
+                cost += self.faults.disk_op(self.node, file_id, nbytes, sync)
+            except Exception as exc:
+                # injected device failure: the op errors after its latency
+                fut = self.sim.future()
+                self.sim.schedule(
+                    self.spec.op_latency, lambda: fut.set_exception(exc)
+                )
+                return fut
         if self._last_file is not None and self._last_file != file_id:
             self.switches += 1
         self._last_file = file_id
@@ -97,6 +111,15 @@ class Disk:
     def read(self, nbytes: int) -> SimFuture:
         """Sequential read of ``nbytes`` (used during recovery replay)."""
         cost = self.spec.op_latency + nbytes / self.spec.bandwidth
+        if self.faults is not None:
+            try:
+                cost += self.faults.disk_op(self.node, "<read>", nbytes, False)
+            except Exception as exc:
+                fut = self.sim.future()
+                self.sim.schedule(
+                    self.spec.op_latency, lambda: fut.set_exception(exc)
+                )
+                return fut
         return self._server.submit(cost)
 
 
@@ -140,6 +163,26 @@ class PageCache:
     @property
     def dirty_bytes(self) -> int:
         return self._dirty_total
+
+    def dirty_for(self, file_id: str) -> int:
+        """Dirty (unsynced) bytes currently cached for ``file_id``."""
+        return self._dirty.get(file_id, 0)
+
+    def drop_file(self, file_id: str) -> int:
+        """Discard dirty bytes for ``file_id`` without writing them back.
+
+        Models a crash losing unsynced data: the caller decides which
+        logical records the lost bytes correspond to.  Returns the
+        number of bytes dropped.  Pending fsync waiters for the file
+        are resolved (their data is gone, there is nothing to wait for).
+        """
+        dropped = self._dirty.pop(file_id, 0)
+        self._dirty_total -= dropped
+        for waiter in self._sync_waiters.pop(file_id, []):
+            if not waiter.done:
+                waiter.set_result(None)
+        self._admit_waiters()
+        return dropped
 
     def write(self, file_id: str, nbytes: int) -> SimFuture:
         """Buffered write: resolves when the data is in the page cache."""
@@ -186,7 +229,17 @@ class PageCache:
             if file_id is None:
                 file_id = max(self._dirty, key=self._dirty.get)  # type: ignore[arg-type]
             chunk = min(self._dirty[file_id], self.spec.writeback_chunk)
-            yield self.disk.write(file_id, chunk, sync=False)
+            try:
+                yield self.disk.write(file_id, chunk, sync=False)
+            except Exception:
+                # injected device failure: back off and retry writeback
+                yield self.sim.timeout(0.01)
+                continue
+            if file_id not in self._dirty:
+                # file dropped (crash) while the chunk was in flight;
+                # drop_file already settled the accounting
+                self._admit_waiters()
+                continue
             remaining = self._dirty[file_id] - chunk
             if remaining <= 0:
                 del self._dirty[file_id]

@@ -57,6 +57,8 @@ class Network:
         self.sim = sim
         self.spec = spec or NetworkSpec()
         self._hosts: dict[str, Host] = {}
+        #: fault-injection hook (repro.faults.FaultEngine); unwired by default
+        self.faults = None
 
     def host(self, name: str) -> Host:
         """Get or create the host with ``name``."""
@@ -80,14 +82,20 @@ class Network:
         sender.bytes_sent += nbytes
         sender.messages_sent += 1
         fut = self.sim.future()
+        extra = 0.0
+        if self.faults is not None:
+            extra = self.faults.net_message(src, dst)
         if src == dst:
-            self.sim.schedule(self.spec.local_latency, lambda: fut.set_result(payload))
+            self.sim.schedule(
+                self.spec.local_latency + extra, lambda: fut.set_result(payload)
+            )
             return fut
         service = self.spec.per_message_overhead + nbytes / self.spec.bandwidth
         serialized = sender._egress.submit(service)
+        propagation = self.spec.rtt / 2.0 + extra
 
         def after_serialization(_: SimFuture) -> None:
-            self.sim.schedule(self.spec.rtt / 2.0, lambda: fut.set_result(payload))
+            self.sim.schedule(propagation, lambda: fut.set_result(payload))
 
         serialized.add_callback(after_serialization)
         return fut

@@ -56,6 +56,7 @@ class ZookeeperService:
         self._root = ZNode(name="")
         self._next_session_id = 1
         self._sessions: Dict[int, List[str]] = {}
+        self._session_hosts: Dict[int, str] = {}
         self._data_watches: Dict[str, List[Callable[[WatchEvent], None]]] = {}
         self._child_watches: Dict[str, List[Callable[[WatchEvent], None]]] = {}
 
@@ -64,6 +65,7 @@ class ZookeeperService:
         session_id = self._next_session_id
         self._next_session_id += 1
         self._sessions[session_id] = []
+        self._session_hosts[session_id] = client_host
         return ZkClient(self, client_host, session_id)
 
     # ------------------------------------------------------------------
@@ -159,11 +161,27 @@ class ZookeeperService:
     def expire_session(self, session_id: int) -> None:
         """Remove the session and delete its ephemeral nodes (crash model)."""
         owned = self._sessions.pop(session_id, [])
+        self._session_hosts.pop(session_id, None)
         for path in list(owned):
             try:
                 self.do_delete(path)
             except (NoNodeError, NodeExistsError):
                 pass
+
+    def expire_sessions_for_host(self, host_pattern: str) -> int:
+        """Expire every session opened from a host matching the fnmatch
+        pattern (fault injection: the host lost its zookeeper lease).
+        Returns the number of sessions expired."""
+        from fnmatch import fnmatch
+
+        victims = [
+            sid
+            for sid, host in self._session_hosts.items()
+            if fnmatch(host, host_pattern)
+        ]
+        for sid in victims:
+            self.expire_session(sid)
+        return len(victims)
 
     def session_alive(self, session_id: int) -> bool:
         return session_id in self._sessions

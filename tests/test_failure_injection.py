@@ -1,11 +1,24 @@
-"""Failure-injection tests across the stack: bookie crashes during
-ingestion, WAL quorum loss, consumer-side broker crashes."""
+"""Failure-injection tests across the stack, driven by the seeded
+:class:`repro.faults.FaultPlan` DSL: bookie crashes during ingestion,
+WAL quorum loss, consumer-side broker crashes, and end-to-end
+crash-consistency properties checked by the fault oracle."""
+
+import random
 
 import pytest
 
 from repro.common.errors import BrokerCrashedError
 from repro.common.payload import Payload
-from repro.sim import Simulator, all_of
+from repro.faults import (
+    FaultEngine,
+    FaultPlan,
+    run_kafka,
+    run_pravega,
+    run_pulsar,
+)
+from repro.kafka.log import PartitionLog
+from repro.sim import Disk, Simulator
+from repro.sim.disk import PageCache
 
 from helpers import build_cluster, drain_reader, make_stream, run
 
@@ -20,14 +33,33 @@ def cluster(sim):
     return build_cluster(sim)
 
 
+def bookie_engine(sim, cluster, plan):
+    """An engine whose crash rules reach only the bookies — segment
+    stores stay up, so the test isolates the WAL quorum behaviour."""
+    engine = FaultEngine(sim, plan)
+    for name, bookie in cluster.bk_cluster.bookies.items():
+        engine.register_node(
+            name,
+            lambda lose, b=bookie: b.crash(lose_unsynced=lose) if b.alive else None,
+            lambda b=bookie: b.restart() if not b.alive else None,
+        )
+    return engine
+
+
 class TestBookieFailures:
     def test_one_bookie_crash_is_transparent(self, sim, cluster):
         """ackQuorum=2 of 3: losing one bookie never surfaces to writers."""
         make_stream(sim, cluster, stream="b1")
+        plan = FaultPlan(seed=1).crash("segmentstore-0", at=0.05)
+        engine = bookie_engine(sim, cluster, plan)
         writer = cluster.create_writer("bench-0", "test", "b1")
+        engine.start()
         futs = [writer.write_event(f"a{i}".encode(), routing_key="k") for i in range(10)]
-        # Crash one bookie mid-stream.
-        next(iter(cluster.bk_cluster.bookies.values())).crash()
+        sim.run(until=sim.now + 0.1)  # scheduled crash fires mid-stream
+        assert not cluster.bk_cluster.bookies["segmentstore-0"].alive
+        assert ("crash", "segmentstore-0") in [
+            (action, target) for _, action, target in engine.injected
+        ]
         futs += [writer.write_event(f"b{i}".encode(), routing_key="k") for i in range(10)]
         run(sim, writer.flush(), timeout=120)
         assert all(f.exception is None for f in futs if f.done)
@@ -43,9 +75,14 @@ class TestBookieFailures:
         make_stream(sim, cluster, stream="b2")
         writer = cluster.create_writer("bench-0", "test", "b2")
         run(sim, writer.write_event(b"pre", routing_key="k"))
-        bookies = list(cluster.bk_cluster.bookies.values())
-        bookies[0].crash()
-        bookies[1].crash()
+        plan = (
+            FaultPlan(seed=2)
+            .crash("segmentstore-0", at=0.01)
+            .crash("segmentstore-1", at=0.01)
+        )
+        engine = bookie_engine(sim, cluster, plan)
+        engine.start()
+        sim.run(until=sim.now + 0.05)
         futs = [writer.write_event(b"doomed", routing_key="k") for _ in range(3)]
         sim.run(until=sim.now + 10)
         store = cluster.store_cluster.store_for_segment("test/b2/0")
@@ -56,10 +93,17 @@ class TestBookieFailures:
         make_stream(sim, cluster, stream="b3")
         writer = cluster.create_writer("bench-0", "test", "b3")
         run(sim, writer.write_event(b"durable", routing_key="k"))
-        bookie = next(iter(cluster.bk_cluster.bookies.values()))
+        bookie = cluster.bk_cluster.bookies["segmentstore-0"]
         stored = bookie.stored_bytes()
-        bookie.crash()
-        bookie.restart()
+        plan = FaultPlan(seed=3).crash_restart(
+            "segmentstore-0", at=0.01, downtime=0.05
+        )
+        engine = bookie_engine(sim, cluster, plan)
+        engine.start()
+        sim.run(until=sim.now + 0.03)
+        assert not bookie.alive
+        sim.run(until=sim.now + 0.1)  # past the scheduled downtime
+        assert bookie.alive
         assert bookie.stored_bytes() == stored  # journaled data survived
 
 
@@ -69,11 +113,10 @@ class TestPulsarConsumerFailures:
         from repro.lts import InMemoryLTS
         from repro.pulsar import (
             PulsarBroker,
-            PulsarBrokerConfig,
             PulsarCluster,
             PulsarConsumer,
         )
-        from repro.sim import Disk, Network
+        from repro.sim import Network
 
         network = Network(sim)
         bk = BookKeeperCluster(sim, network)
@@ -84,22 +127,118 @@ class TestPulsarConsumerFailures:
             bk.add_bookie(Bookie(sim, name, Disk(sim)))
             pulsar.add_broker(PulsarBroker(sim, name, network, bk, lts))
         pulsar.create_topic("t", 1)
+        owner = pulsar.assignments["t-0"]
+        plan = FaultPlan(seed=4).crash(owner, at=0.05)
+        engine = FaultEngine(sim, plan)
+        for name, broker in pulsar.brokers.items():
+            engine.register_node(
+                name,
+                lambda lose, b=broker: b.crash("injected fault") if b.alive else None,
+                lambda b=broker: b.restart() if not b.alive else None,
+            )
         consumer = PulsarConsumer(sim, pulsar, "t", "client")
         receive = consumer.receive()
-        sim.run(until=sim.now + 0.01)
-        pulsar.broker_for("t-0").crash()
+        engine.start()
         sim.run(until=sim.now + 1)
         assert isinstance(receive.exception, BrokerCrashedError)
 
 
 class TestZookeeperSessions:
     def test_container_survives_unrelated_session_expiry(self, sim, cluster):
-        """Expiring a random client session must not disturb the data path."""
+        """Expiring a random client's sessions must not disturb the data
+        path."""
         make_stream(sim, cluster, stream="z1")
         observer = cluster.zk_service.connect("random-observer")
         run(sim, observer.create("/observer", ephemeral=True))
-        cluster.zk_service.expire_session(observer.session_id)
+        plan = FaultPlan(seed=5).zk_expire("random-observer", at=0.01)
+        engine = FaultEngine(sim, plan)
+        engine.register_zk(cluster.zk_service)
+        engine.start()
+        sim.run(until=sim.now + 0.05)
+        assert any(action == "zk_expire" for _, action, _ in engine.injected)
         writer = cluster.create_writer("bench-0", "test", "z1")
         run(sim, writer.write_event(b"fine", routing_key="k"))
         run(sim, writer.flush())
         assert writer.events_written == 1
+
+
+class TestBookKeeperQuorumProperties:
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_overlapping_crashes_recover_without_losing_acked_events(self, seed):
+        """Two crash windows overlap, so the WAL write quorum is lost
+        mid-run; after heal + container recovery no acked event may be
+        missing, reordered, or duplicated, and tiered state must match."""
+        plan = (
+            FaultPlan(seed=seed)
+            .crash_restart("segmentstore-0", at=0.03, downtime=0.1,
+                           lose_unsynced=True)
+            .crash_restart("segmentstore-1", at=0.05, downtime=0.15,
+                           lose_unsynced=True)
+        )
+        result = run_pravega(seed, 60, plan=plan, journal_sync=True)
+        assert result.ok, result.violations
+        crashed = [t for _, a, t in result.injected if a == "crash_restart"]
+        assert "segmentstore-0" in crashed and "segmentstore-1" in crashed
+
+
+class TestKafkaUnflushedTail:
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_lose_unsynced_tail_truncates_to_a_synced_prefix(self, seed):
+        """Crashing without flush loses exactly the dirty tail: the
+        surviving prefix is untouched, offsets stay consistent, and the
+        idempotence table re-derives so lost sequences can be retried."""
+        sim = Simulator()
+        rng = random.Random(seed)
+        disk = Disk(sim)
+        cache = PageCache(sim, disk)
+        log = PartitionLog(sim, "t-0", disk, cache, flush_every_message=False)
+        for i in range(30):
+            sim.run_until_complete(
+                log.append(Payload.of(f"k|{i}".encode()), 1,
+                           producer_id="p", sequence=i),
+                timeout=60,
+            )
+        # a seed-varied pause lets the writeback flush a random prefix
+        sim.run(until=sim.now + rng.uniform(0.0, 0.05))
+        before = list(log.batches)
+        lost = log.lose_unsynced_tail()
+        assert log.batches == before[: len(before) - lost]
+        if log.batches:
+            assert log.leo == log.batches[-1].last_offset + 1
+            assert log._producer_sequences["p"] == log.batches[-1].sequence
+        else:
+            assert log.leo == 0
+            assert "p" not in log._producer_sequences
+        # a lost sequence must be appendable again on producer retry
+        next_seq = log._producer_sequences.get("p", -1) + 1
+        fut = log.append(Payload.of(b"retry"), 1, producer_id="p",
+                         sequence=next_seq)
+        sim.run_until_complete(fut, timeout=60)
+        assert log.batches[-1].sequence == next_seq
+
+    def test_lossy_broker_crash_is_masked_by_replication(self):
+        """acks=all with page-cache acks: one broker losing its dirty
+        tail must not lose acked events from the replica union."""
+        seed = 7
+        plan = FaultPlan(seed=seed).crash_restart(
+            "broker-1", at=0.05, downtime=0.1, lose_unsynced=True
+        )
+        result = run_kafka(seed, 60, plan=plan, flush_every_message=False)
+        assert result.ok, result.violations
+        assert any(a == "crash_restart" for _, a, _ in result.injected)
+
+
+class TestPulsarRolloverUnderCrash:
+    def test_ledger_rollover_survives_broker_crashes(self):
+        """Broker crashes force managed-ledger handoffs across the small
+        rollover threshold; at-least-once delivery must still hold and
+        the topic must actually have rolled over (>1 ledger/partition)."""
+        seed = 13
+        plan = (
+            FaultPlan(seed=seed)
+            .crash_restart("pulsar-0", at=0.05, downtime=0.1)
+            .crash_restart("pulsar-1", at=0.2, downtime=0.1)
+        )
+        result = run_pulsar(seed, 120, plan=plan)
+        assert result.ok, result.violations
+        assert result.extra["ledger_records"] > result.extra["partitions"]

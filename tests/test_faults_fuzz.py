@@ -1,0 +1,86 @@
+"""Tier-1 fuzz smoke: short seeded fault-injection runs against all
+three systems, bit-identical replay, a committed regression schedule,
+and proof that the oracle actually catches broken ack paths.
+
+Marked ``faults`` so ``pytest -m faults`` selects just this layer; the
+full-length sweep lives behind ``make fuzz``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.fuzz import run_one
+
+pytestmark = pytest.mark.faults
+
+DATA = Path(__file__).parent / "data"
+
+
+@pytest.mark.parametrize("system", ["pravega", "kafka", "pulsar"])
+@pytest.mark.parametrize("seed", [7, 42])
+def test_fuzz_smoke(system, seed):
+    result = run_one(system, seed, 50)
+    assert result.ok, (result.violations, result.plan.to_json())
+    assert result.oracle.acked, "smoke run acked nothing — workload broken"
+
+
+def test_replay_is_bit_identical():
+    first = run_one("kafka", 5, 40)
+    second = run_one("kafka", 5, 40)
+    assert first.injected == second.injected
+    assert first.oracle.summary() == second.oracle.summary()
+    assert first.plan.to_json() == second.plan.to_json()
+
+
+def test_committed_schedule_still_passes():
+    """Regression: a schedule that exercises crash_restart + recovery
+    re-injection (among others), committed as replayable JSON."""
+    plan = FaultPlan.load(DATA / "faultplan_regression_pravega.json")
+    actions = {rule.action for rule in plan.rules}
+    assert {"crash_restart", "recovery_crash"} <= actions
+    result = run_one("pravega", 39, 120, plan=plan)
+    assert result.ok, result.violations
+    fired = {action for _, action, _ in result.injected}
+    assert "crash_restart" in fired
+    assert "recovery_crash" in fired
+
+
+def test_oracle_catches_a_broken_ack_path(monkeypatch):
+    """Intentionally break durability — acknowledge appends but drop the
+    stored batch — and require the checker to flag the loss."""
+    from repro.kafka.log import PartitionLog
+
+    real_append = PartitionLog.append
+
+    def lying_append(self, batch_payload, record_count,
+                     producer_id="", sequence=-1):
+        fut = real_append(self, batch_payload, record_count,
+                          producer_id=producer_id, sequence=sequence)
+        if self.batches:
+            self.batches.pop()  # acked, never stored
+        return fut
+
+    monkeypatch.setattr(PartitionLog, "append", lying_append)
+    result = run_one("kafka", 9, 40, plan=FaultPlan(seed=9))
+    assert not result.ok
+    assert any("lost acked" in v for v in result.violations)
+
+
+def test_oracle_catches_dropped_lts_chunks(monkeypatch):
+    """Tiering oracle: chunks recorded in segment metadata must exist in
+    LTS — a write path that lies about persistence is flagged."""
+    from repro.lts.base import LongTermStorage
+
+    real_write = LongTermStorage.write_chunk
+
+    def lying_write(self, name, payload):
+        fut = real_write(self, name, payload)
+        fut.add_callback(lambda f: self._chunks.pop(name, None))
+        return fut
+
+    monkeypatch.setattr(LongTermStorage, "write_chunk", lying_write)
+    result = run_one("pravega", 9, 30, plan=FaultPlan(seed=9))
+    assert not result.ok
+    assert any("chunk missing from LTS" in v for v in result.violations)
