@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf bench-kernel fuzz
+.PHONY: test perf bench-kernel fuzz trace trace-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -20,3 +20,14 @@ perf:
 ## full kernel microbenchmark; writes BENCH_kernel.json
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py
+
+## capture a Chrome/Perfetto trace of one traced workload
+## (override: SYSTEM=kafka TRACE_OUT=trace.json RATE=2000 DURATION=1.0)
+trace:
+	$(PYTHON) -m repro.bench --system $(or $(SYSTEM),pravega) \
+		--rate $(or $(RATE),2000) --duration $(or $(DURATION),1.0) \
+		--trace $(or $(TRACE_OUT),trace_$(or $(SYSTEM),pravega).json)
+
+## tracing subsystem tests only (golden trace, properties, fault windows)
+trace-test:
+	$(PYTHON) -m pytest -q -m trace

@@ -62,7 +62,11 @@ def _run_figure(partitions: int):
         latencies = {}
         best = None
         for rate in rates:
-            result = run_fresh(make, _spec(partitions, rate))
+            result = run_fresh(
+                make,
+                _spec(partitions, rate),
+                trace_name=f"fig05_{label}_{partitions}p_{rate:.0f}eps",
+            )
             latencies[rate] = result
             table.add(
                 label,

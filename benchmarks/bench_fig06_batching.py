@@ -63,11 +63,13 @@ def _spec(partitions: int, rate: float) -> WorkloadSpec:
     )
 
 
-def _low_rate_latency(make, partitions: int):
+def _low_rate_latency(make, partitions: int, label: str = "run"):
     # Fine-grained ticks so latency is per-(nearly-single)-event, not
     # distorted by bulk-group completion time.
     spec = dataclasses.replace(_spec(partitions, 2_000), tick=1e-3)
-    result = run_fresh(make, spec)
+    result = run_fresh(
+        make, spec, trace_name=f"fig06_lowrate_{label}_{partitions}p"
+    )
     return result.write_latency.p95
 
 
@@ -88,7 +90,7 @@ def test_fig06a_one_segment(benchmark):
         out = {}
         for label in ("Pravega (dynamic)", "Pulsar (batch)", "Pulsar (no batch)"):
             make = VARIANTS[label]
-            latency = _low_rate_latency(make, 1)
+            latency = _low_rate_latency(make, 1, label=label)
             max_rate = _max_rate(make, 1)
             out[label] = (latency, max_rate)
             table.add(label, fmt_latency(latency), fmt_rate(max_rate))
@@ -153,10 +155,14 @@ def test_fig06b_kafka_more_batching_backfires(benchmark):
 
     def experiment():
         default_latency = run_fresh(
-            VARIANTS["Kafka (default 1ms/128KB)"], _spec(16, 10_000)
+            VARIANTS["Kafka (default 1ms/128KB)"],
+            _spec(16, 10_000),
+            trace_name="fig06b_kafka_default",
         ).write_latency.p95
         big_latency = run_fresh(
-            VARIANTS["Kafka (10ms/1MB)"], _spec(16, 10_000)
+            VARIANTS["Kafka (10ms/1MB)"],
+            _spec(16, 10_000),
+            trace_name="fig06b_kafka_big_linger",
         ).write_latency.p95
         default_max = _max_rate(VARIANTS["Kafka (default 1ms/128KB)"], 16)
         big_max = _max_rate(VARIANTS["Kafka (10ms/1MB)"], 16)

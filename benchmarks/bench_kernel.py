@@ -17,6 +17,10 @@ Scenarios
 * ``mini_workload``     — a small end-to-end Pravega workload through the
                           real bench driver; the "does it help real runs"
                           check.
+* ``mini_tracer_off``   — the same workload with a disabled
+                          ``repro.obs.Tracer`` wired through the full write
+                          path; fails if any span is allocated and shares
+                          ``mini_workload``'s wall-clock budget.
 
 Usage::
 
@@ -107,12 +111,23 @@ def cancel_storm(batches: int, timers_per_batch: int) -> Simulator:
     return sim
 
 
-def mini_workload(target_rate: float, duration: float) -> Simulator:
-    """A small end-to-end Pravega run through the real bench driver."""
+def mini_workload(
+    target_rate: float, duration: float, tracing: Optional[str] = None
+) -> Simulator:
+    """A small end-to-end Pravega run through the real bench driver.
+
+    ``tracing``: ``None`` = no tracer wired (baseline), ``"disabled"`` =
+    a disabled :class:`repro.obs.Tracer` wired through the full path (the
+    zero-cost-when-disabled claim), ``"enabled"`` = full span capture.
+    """
     from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+    from repro.obs import Tracer
 
     sim = Simulator()
-    adapter = PravegaAdapter(sim)
+    tracer = None
+    if tracing is not None:
+        tracer = Tracer(sim, enabled=(tracing == "enabled"))
+    adapter = PravegaAdapter(sim, tracer=tracer)
     spec = WorkloadSpec(
         event_size=100,
         target_rate=target_rate,
@@ -122,7 +137,11 @@ def mini_workload(target_rate: float, duration: float) -> Simulator:
         duration=duration,
         warmup=0.5,
     )
-    run_workload(sim, adapter, spec)
+    run_workload(sim, adapter, spec, tracer=tracer)
+    if tracing == "disabled" and tracer.spans_created:
+        raise AssertionError(
+            f"disabled tracer allocated {tracer.spans_created} spans"
+        )
     return sim
 
 
@@ -187,6 +206,16 @@ SCENARIOS = [
         "mini_workload",
         lambda: mini_workload(target_rate=20_000, duration=3.0),
         lambda: mini_workload(target_rate=5_000, duration=1.0),
+        60.0,
+    ),
+    # Same workload with a *disabled* tracer wired through the whole
+    # write path.  mini_workload raises if any span gets allocated, and
+    # the budget is the same as the untraced run: "zero-cost when
+    # disabled" is a perf contract, not just a unit-test claim.
+    (
+        "mini_tracer_off",
+        lambda: mini_workload(target_rate=20_000, duration=3.0, tracing="disabled"),
+        lambda: mini_workload(target_rate=5_000, duration=1.0, tracing="disabled"),
         60.0,
     ),
 ]

@@ -1,7 +1,12 @@
 """Benchmark harness: OMB-like workloads, system adapters, sweeps,
 result tables (reproduces every figure of the paper's §5)."""
 
-from repro.bench.adapters import KafkaAdapter, PravegaAdapter, PulsarAdapter
+from repro.bench.adapters import (
+    KafkaAdapter,
+    PravegaAdapter,
+    PulsarAdapter,
+    attach_tracer,
+)
 from repro.bench.keys import modulo_key_table, range_key_table
 from repro.bench.results import (
     BenchResult,
@@ -17,6 +22,7 @@ __all__ = [
     "PravegaAdapter",
     "KafkaAdapter",
     "PulsarAdapter",
+    "attach_tracer",
     "WorkloadSpec",
     "run_workload",
     "sweep_rates",

@@ -115,6 +115,7 @@ class _PravegaProducer:
         self.writer = adapter.cluster.create_writer(
             host, "bench", "stream", adapter.writer_config
         )
+        self.writer.tracer = adapter.tracer
         self.adapter = adapter
 
     def send_group(self, partition: Optional[int], count: int, size: int):
@@ -160,9 +161,11 @@ class PravegaAdapter:
         writer_config: Optional[WriterConfig] = None,
         slice_factor: float = 1.0,
         scaling_policy: Optional[ScalingPolicy] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.slice_factor = slice_factor
+        self.tracer = tracer
         base = PravegaClusterConfig()
         lts_spec = None
         if slice_factor != 1 and lts_kind == "efs":
@@ -178,6 +181,11 @@ class PravegaAdapter:
             lts_spec=lts_spec,
         )
         self.cluster = PravegaCluster.build(sim, config)
+        if tracer is not None:
+            # Containers are created lazily by the stores; they pick the
+            # tracer up from their store at host_container time.
+            for store in self.cluster.stores.values():
+                store.tracer = tracer
         self.writer_config = writer_config or WriterConfig()
         self.scaling_policy = scaling_policy
         self.keys: List[str] = []
@@ -232,6 +240,7 @@ class _KafkaProducerHandle:
         self.producer = KafkaProducer(
             adapter.sim, adapter.cluster, "topic", host, adapter.producer_config
         )
+        self.producer.tracer = adapter.tracer
         self.adapter = adapter
 
     def send_group(self, partition: Optional[int], count: int, size: int):
@@ -274,9 +283,11 @@ class KafkaAdapter:
         flush_every_message: bool = False,
         producer_config: Optional[KafkaProducerConfig] = None,
         slice_factor: float = 1.0,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.slice_factor = slice_factor
+        self.tracer = tracer
         network = Network(sim, scaled_network_spec(NetworkSpec(), slice_factor))
         self.cluster = KafkaCluster(sim, network)
         disk_spec = scaled_disk_spec(DiskSpec(), slice_factor)
@@ -321,6 +332,7 @@ class _PulsarProducerHandle:
         self.producer = PulsarProducer(
             adapter.sim, adapter.cluster, "topic", host, adapter.producer_config
         )
+        self.producer.tracer = adapter.tracer
         self.adapter = adapter
 
     def send_group(self, partition: Optional[int], count: int, size: int):
@@ -361,9 +373,11 @@ class PulsarAdapter:
         broker_config: Optional[PulsarBrokerConfig] = None,
         producer_config: Optional[PulsarProducerConfig] = None,
         slice_factor: float = 1.0,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.slice_factor = slice_factor
+        self.tracer = tracer
         network = Network(sim, scaled_network_spec(NetworkSpec(), slice_factor))
         bk = BookKeeperCluster(sim, network)
         lts_spec = scaled_lts_spec(
@@ -430,3 +444,19 @@ class PulsarAdapter:
             b.journal_disk.bytes_written
             for b in self.cluster.bk_cluster.bookies.values()
         )
+
+
+def attach_tracer(adapter, tracer) -> None:
+    """Wire a tracer into an already-built adapter.
+
+    Equivalent to passing ``tracer=`` at construction, for callers (the
+    figure benchmarks) that build adapters through tracer-unaware
+    factories.  Must run before ``setup()``: Pravega containers created
+    afterwards inherit the tracer from their segment store, and
+    producers read ``adapter.tracer`` when the runner creates them.
+    """
+    adapter.tracer = tracer
+    stores = getattr(getattr(adapter, "cluster", None), "stores", None)
+    if stores:
+        for store in stores.values():
+            store.tracer = tracer

@@ -67,6 +67,7 @@ def run_workload(
     probe: Optional[Callable[[float, BenchResult], None]] = None,
     probe_interval: float = 1.0,
     fault_engine=None,
+    tracer=None,
 ) -> BenchResult:
     """Run one workload to completion and return its measurements.
 
@@ -74,6 +75,11 @@ def run_workload(
     already wired into the system under test) the engine's schedule starts
     when load starts, and the injected-fault counts land in
     ``result.extra`` — fault-aware benchmarking.
+
+    With ``tracer`` (a :class:`repro.obs.Tracer` already wired into the
+    adapter) the measurement window bounds and span counts land in
+    ``result.extra`` so the critical-path analyzer can restrict itself to
+    in-window events.
     """
     result = BenchResult(
         label=f"{adapter.name} p={spec.partitions} w={spec.producers}",
@@ -249,6 +255,11 @@ def run_workload(
         for _, action, _target in fault_engine.injected:
             key = f"faults.{action}"
             result.extra[key] = result.extra.get(key, 0.0) + 1.0
+    if tracer is not None:
+        tracer.stamp_fault_windows()
+        result.extra["trace.window_start"] = window_start
+        result.extra["trace.window_end"] = window_end
+        result.extra["trace.spans"] = float(len(tracer.spans))
     return result
 
 

@@ -42,6 +42,8 @@ ENTRY_OVERHEAD = 64
 class _JournalRequest:
     entry: Entry
     future: SimFuture
+    #: per-replica trace span (repro.obs), None when tracing is off
+    span: Optional[object] = None
 
 
 class Bookie:
@@ -79,7 +81,7 @@ class Bookie:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def add_entry(self, entry: Entry, recovery: bool = False) -> SimFuture:
+    def add_entry(self, entry: Entry, recovery: bool = False, span=None) -> SimFuture:
         """Store ``entry``; resolves once the journal write is durable
         (or cached, if ``journal_sync`` is off)."""
         fut = self.sim.future()
@@ -93,7 +95,7 @@ class Bookie:
                 LedgerFencedError(f"ledger {entry.ledger_id} fenced on {self.name}")
             )
             return fut
-        self._journal_queue.append(_JournalRequest(entry, fut))
+        self._journal_queue.append(_JournalRequest(entry, fut, span))
         if not self._journal_running:
             self._journal_running = True
             self.sim.process(self._journal_loop())
@@ -105,6 +107,7 @@ class Bookie:
         while self._journal_queue:
             batch, self._journal_queue = self._journal_queue, []
             total = sum(r.entry.payload.size + ENTRY_OVERHEAD for r in batch)
+            write_started = self.sim.now
             try:
                 if self.journal_sync:
                     yield self.journal_disk.write(journal_file, total, sync=True)
@@ -132,6 +135,14 @@ class Bookie:
             self.journal_batches += 1
             self.entries_journaled += len(batch)
             self.bytes_journaled += total
+            if self.journal_sync:
+                # Group commit: every request in the batch waited for the
+                # whole synced journal write — each one's critical path
+                # carries the full fsync duration (shared-span model).
+                write_latency = self.sim.now - write_started
+                for request in batch:
+                    if request.span is not None:
+                        request.span.component("fsync", write_latency)
             for request in batch:
                 entry = request.entry
                 ledger = self._ledgers.setdefault(entry.ledger_id, {})

@@ -160,12 +160,18 @@ class LedgerHandle:
         return self.client.sim
 
     # ------------------------------------------------------------------
-    def append(self, payload: Payload, record: object = None) -> SimFuture:
+    def append(self, payload: Payload, record: object = None, span=None) -> SimFuture:
         """Replicated append; resolves with the entry id once ack_quorum
         bookies have made it durable *and* all earlier entries completed.
 
         ``record`` is the structured content of the entry (see
         :class:`Entry`); readers get it back on recovery replay.
+
+        With ``span`` (a parent trace span) the replication fans out into
+        per-bookie sub-spans; the entry span accrues the fastest replica's
+        network + journal-fsync time, and the remainder until the entry's
+        future resolves (ack-quorum wait + LAC ordering) is the quorum
+        component — all absorbed back into ``span`` on completion.
         """
         fut = self.sim.future()
         if not self.writable or self.metadata.state is not LedgerState.OPEN:
@@ -178,10 +184,28 @@ class LedgerHandle:
         self._next_entry_id += 1
         entry = Entry(self.ledger_id, entry_id, payload, record)
         self._acked[entry_id] = fut
-        self.sim.process(self._replicate(entry))
+        entry_span = None
+        if span is not None:
+            entry_span = span.child(
+                "bk.entry",
+                actor=f"ledger-{self.ledger_id}",
+                entry_id=entry_id,
+                bytes=payload.size,
+                quorum=self.metadata.ack_quorum,
+            )
+
+            def finish_entry(f: SimFuture, entry_span=entry_span, parent=span) -> None:
+                entry_span.finish()
+                first_ack = entry_span.attrs.get("_first_ack")
+                if first_ack is not None:
+                    entry_span.component("quorum", self.sim.now - first_ack)
+                parent.absorb(entry_span)
+
+            fut.add_callback(finish_entry)
+        self.sim.process(self._replicate(entry, entry_span))
         return fut
 
-    def _replicate(self, entry: Entry):
+    def _replicate(self, entry: Entry, entry_span=None):
         cluster = self.client.cluster
         network = cluster.network
         write_set = self.metadata.write_set(entry.entry_id)
@@ -214,10 +238,44 @@ class LedgerHandle:
 
         for name in write_set:
             bookie = cluster.bookies[name]
+            replica_span = None
+            if entry_span is not None:
+                replica_span = entry_span.child(
+                    "bk.replica", actor=name, bytes=wire_size
+                )
             rpc = network.transfer(self.client.client_host, name, wire_size)
 
-            def send(_: SimFuture, bookie: Bookie = bookie) -> None:
-                bookie.add_entry(entry).add_callback(on_store_done)
+            def send(
+                _: SimFuture,
+                bookie: Bookie = bookie,
+                replica_span=replica_span,
+                sent_at: float = self.sim.now,
+            ) -> None:
+                if replica_span is None:
+                    bookie.add_entry(entry).add_callback(on_store_done)
+                    return
+                replica_span.component("network", self.sim.now - sent_at)
+                store = bookie.add_entry(entry, span=replica_span)
+
+                def store_done(f: SimFuture, replica_span=replica_span) -> None:
+                    # With ackQuorum < writeQuorum the slowest replica can
+                    # complete after the entry acked; clamp the span to its
+                    # parent (the tail is off the critical path) and keep
+                    # the true completion time as an annotation.
+                    parent_end = entry_span.end
+                    if parent_end is not None and self.sim.now > parent_end:
+                        replica_span.annotate("straggler", completed=self.sim.now)
+                        replica_span.finish(parent_end)
+                    else:
+                        replica_span.finish()
+                    # The fastest replica defines the sequential part of the
+                    # entry's critical path (its network + fsync time).
+                    if f.exception is None and "_first_ack" not in entry_span.attrs:
+                        entry_span.attrs["_first_ack"] = self.sim.now
+                        entry_span.absorb(replica_span)
+
+                store.add_callback(store_done)
+                store.add_callback(on_store_done)
 
             rpc.add_callback(send)
 

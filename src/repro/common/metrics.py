@@ -111,10 +111,16 @@ class LatencyHistogram:
         self.total = 0.0
         self._stride = 1
         self._phase = 0
+        self._max = float("-inf")
 
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
+        # Track the max exactly: reservoir halving keeps even indices only,
+        # so the largest sample (and with it the reported max) could
+        # silently shrink once the stride starts skipping records.
+        if value > self._max:
+            self._max = value
         self._phase += 1
         if self._phase < self._stride:
             return
@@ -146,7 +152,7 @@ class LatencyHistogram:
 
     @property
     def max(self) -> float:
-        return self._sorted[-1] if self._sorted else float("nan")
+        return self._max if self.count else float("nan")
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -97,6 +97,9 @@ class FaultEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: chronological log of injected faults: (time, action, target)
         self.injected: List[Tuple[float, str, str]] = []
+        #: optional repro.obs.Tracer; fault windows are stamped onto the
+        #: spans they overlap when set
+        self.tracer = None
         self._armed = False
         # rule states bucketed by hook
         self._disk_rules: List[_RuleState] = []
@@ -340,6 +343,10 @@ class FaultEngine:
                 return
             st.active_until = self.sim.now + st.rule.duration
             self._record(st.rule.action + ".window", st.rule.target)
+            if self.tracer is not None:
+                self.tracer.record_fault_window(
+                    self.sim.now, st.active_until, st.rule.action, st.rule.target
+                )
 
         return fire
 

@@ -218,6 +218,7 @@ def run_pravega(
     steps: int,
     plan: Optional[FaultPlan] = None,
     journal_sync: Optional[bool] = None,
+    tracer=None,
 ) -> ScenarioResult:
     from ..pravega import PravegaCluster, PravegaClusterConfig
 
@@ -242,12 +243,24 @@ def run_pravega(
         plan = _pravega_plan(rng, steps)
     engine = FaultEngine(sim, plan, metrics=cluster.metrics)
     wire_pravega(engine, cluster)
+    if tracer is not None:
+        # The scenario owns its simulator; bind the caller's tracer to it.
+        tracer.sim = sim
+        engine.tracer = tracer
+        for store in cluster.store_cluster.stores.values():
+            store.tracer = tracer
+            for container in store.containers.values():
+                container.tracer = tracer
+                container.storage_writer.tracer = tracer
 
     oracle = HistoryOracle()
     writers = {
         key: cluster.create_writer("bench-0", "fuzz", "s", writer_id=f"w-{key}")
         for key in KEYS
     }
+    if tracer is not None:
+        for writer in writers.values():
+            writer.tracer = tracer
 
     def key_writer(key: str, count: int):
         writer = writers[key]

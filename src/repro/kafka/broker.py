@@ -71,7 +71,7 @@ class KafkaBroker:
 
     def append_local(
         self, tp: TopicPartition, payload: Payload, record_count: int,
-        producer_id: str = "", sequence: int = -1
+        producer_id: str = "", sequence: int = -1, span=None
     ) -> SimFuture:
         if self.faults is not None:
             self.faults.node_op(self.name)
@@ -80,7 +80,14 @@ class KafkaBroker:
             fut.set_exception(KafkaError(f"broker {self.name} is down"))
             return fut
         log = self.logs[tp]
-        result = log.append(payload, record_count, producer_id, sequence)
+        if span is None:
+            # Keep the untraced call signature unchanged (tests wrap
+            # PartitionLog.append with span-less fakes).
+            result = log.append(payload, record_count, producer_id, sequence)
+        else:
+            result = log.append(
+                payload, record_count, producer_id, sequence, span=span
+            )
 
         def wake(_: SimFuture) -> None:
             self._wake_fetchers(tp)
@@ -182,6 +189,7 @@ class KafkaCluster:
         producer_id: str = "",
         sequence: int = -1,
         acks_all: bool = True,
+        span=None,
     ) -> SimFuture:
         """Send a record batch to the partition leader; replicate; ack.
 
@@ -194,12 +202,24 @@ class KafkaCluster:
         wire = payload.size + BATCH_OVERHEAD + RPC_OVERHEAD
 
         def run():
+            if span is not None:
+                t_request = self.sim.now
             yield self.network.transfer(client_host, leader.name, wire)
+            if span is not None:
+                span.component("network", self.sim.now - t_request)
             if not leader.alive:
+                if span is not None:
+                    span.annotate("leader-down")
+                    span.finish()
                 raise KafkaError(f"leader {leader.name} is down")
             yield self.sim.timeout(leader.request_processing_time)
+            append_span = None
+            if span is not None:
+                append_span = span.child(
+                    "kafka.log.append", actor=leader.name, bytes=payload.size
+                )
             leader_done = leader.append_local(
-                tp, payload, record_count, producer_id, sequence
+                tp, payload, record_count, producer_id, sequence, span=append_span
             )
             needed = (self.min_insync_replicas - 1) if acks_all else 0
             follower_acks = self.sim.future()
@@ -242,8 +262,20 @@ class KafkaCluster:
                 )
 
             yield leader_done
+            if span is not None:
+                if append_span is not None:
+                    span.absorb(append_span)
+                t_leader = self.sim.now
             yield follower_acks
+            if span is not None:
+                # Incremental wait for the in-sync followers beyond the
+                # leader's own append (they replicate concurrently).
+                span.component("quorum", self.sim.now - t_leader)
+                t_reply = self.sim.now
             yield self.network.transfer(leader.name, client_host, RPC_OVERHEAD)
+            if span is not None:
+                span.component("network", self.sim.now - t_reply)
+                span.finish()
             return self.brokers[replicas[0]].logs[tp].leo
 
         return self.sim.process(run())

@@ -78,7 +78,7 @@ class PartitionLog:
         self._producer_sequences: dict[str, int] = {}
 
     def append(self, batch_payload: Payload, record_count: int,
-               producer_id: str = "", sequence: int = -1) -> SimFuture:
+               producer_id: str = "", sequence: int = -1, span=None) -> SimFuture:
         """Append a record batch; resolves with the batch once on stable
         storage (flush) or in the page cache (no flush)."""
         if producer_id and sequence >= 0:
@@ -86,6 +86,9 @@ class PartitionLog:
             if sequence <= last:
                 done = self.sim.future()
                 done.set_result(None)  # duplicate: already appended
+                if span is not None:
+                    span.annotate("duplicate")
+                    span.finish()
                 return done
             self._producer_sequences[producer_id] = sequence
         batch = LogRecordBatch(
@@ -108,10 +111,19 @@ class PartitionLog:
                 service += FSYNC_BARRIER_TIME
             yield self._append_path.submit(service)
             if self.flush_every_message:
+                # The fsync barrier held under the log lock is flush work,
+                # not queueing — attribute it to the fsync bucket.
+                if span is not None:
+                    span.component("fsync", FSYNC_BARRIER_TIME)
+                    t_sync = self.sim.now
                 # fsync before acknowledging (flush.messages=1).
                 yield self.disk.write(self.name, wire, sync=True)
+                if span is not None:
+                    span.component("fsync", self.sim.now - t_sync)
             else:
                 yield self.page_cache.write(self.name, wire)
+            if span is not None:
+                span.finish()
             return batch
 
         return self.sim.process(run())

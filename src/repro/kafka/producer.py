@@ -51,6 +51,8 @@ class _Record:
     count: int
     future: SimFuture
     enqueue_time: float
+    #: root trace span ("kafka.send"), None when tracing is off
+    span: Optional[object] = None
 
 
 @dataclass
@@ -59,6 +61,7 @@ class _PartitionBatch:
     size: int = 0
     open_time: float = 0.0
     closed: bool = False
+    span: Optional[object] = None
 
 
 class KafkaProducer:
@@ -91,6 +94,8 @@ class KafkaProducer:
         self._unacked = 0
         self.records_sent = 0
         self.bytes_sent = 0
+        #: optional repro.obs.Tracer; None keeps the send path untraced
+        self.tracer = None
 
     @property
     def num_partitions(self) -> int:
@@ -117,7 +122,14 @@ class KafkaProducer:
         self._unacked += 1
         fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
         partition = self._partition_for(key)
-        record = _Record(size, count, fut, self.sim.now)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.span(
+                "kafka.send", actor=self.producer_id, bytes=size, events=count
+            )
+            if span is not None:
+                fut.add_callback(lambda f, s=span: s.finish())
+        record = _Record(size, count, fut, self.sim.now, span=span)
         batch = self._batches.get(partition)
         if batch is None or batch.closed or batch.size + wire > self.config.batch_size:
             if batch is not None and not batch.closed:
@@ -177,7 +189,20 @@ class KafkaProducer:
         # (one connection per broker), not per partition.
         tp = TopicPartition(self.topic, partition)
         broker = self.cluster.assignments[tp][0]
+        first_span = next(
+            (r.span for r in batch.records if r.span is not None), None
+        )
+        produce_span = None
+        if first_span is not None:
+            batch.span = first_span.child(
+                "kafka.batch",
+                start=batch.open_time,
+                bytes=batch.size,
+                partition=partition,
+            )
         while self._in_flight.get(broker, 0) >= config.max_in_flight:
+            if batch.span is not None:
+                batch.span.annotate("max-in-flight-wait")
             waiter = self.sim.future()
             self._send_waiters.setdefault(broker, []).append(waiter)
             yield waiter
@@ -195,6 +220,13 @@ class KafkaProducer:
                 sequence = self._sequence
                 self._sequence += 1
             tp = TopicPartition(self.topic, partition)
+            if batch.span is not None:
+                produce_span = batch.span.child(
+                    "kafka.produce",
+                    actor=broker,
+                    bytes=batch.size,
+                    partition=partition,
+                )
             try:
                 yield self.cluster.produce(
                     self.host,
@@ -204,14 +236,25 @@ class KafkaProducer:
                     producer_id=self.producer_id,
                     sequence=sequence,
                     acks_all=config.acks_all,
+                    span=produce_span,
                 )
             except Exception as exc:  # noqa: BLE001 - surface per record
+                if batch.span is not None:
+                    batch.span.annotate("produce-error", error=type(exc).__name__)
+                    batch.span.finish()
                 for record in batch.records:
                     if not record.future.done:
                         record.future.set_exception(exc)
                 return
             self.records_sent += records
             self.bytes_sent += batch.size
+            if batch.span is not None:
+                if produce_span is not None:
+                    batch.span.absorb(produce_span)
+                batch.span.finish()
+                for record in batch.records:
+                    if record.span is not None:
+                        record.span.absorb(batch.span)
             for record in batch.records:
                 if not record.future.done:
                     record.future.set_result(partition)

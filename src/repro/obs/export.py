@@ -1,0 +1,76 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+
+Each finished span becomes a complete ``"ph": "X"`` duration event; the
+span's actor (writer-0, segmentstore-1, bookie-2, ...) maps to a stable
+thread id so Perfetto renders one lane per simulated component.  All
+times come from the sim clock (microseconds, as the format requires) and
+the JSON is serialized with sorted keys and fixed separators, so two
+same-seed runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["to_chrome_trace", "export_chrome_trace"]
+
+PID = 1
+
+
+def to_chrome_trace(tracer: Tracer, stamp_faults: bool = True) -> str:
+    """Serialize the tracer's finished spans as Chrome trace-event JSON."""
+    if stamp_faults:
+        tracer.stamp_fault_windows()
+    finished = [span for span in tracer.spans if span.end is not None]
+
+    # Stable actor -> tid assignment in first-seen (deterministic) order.
+    tids: Dict[str, int] = {}
+    for span in finished:
+        if span.actor not in tids:
+            tids[span.actor] = len(tids) + 1
+
+    events: List[Dict[str, Any]] = []
+    for actor, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "args": {"name": actor},
+            }
+        )
+    for span in finished:
+        args: Dict[str, Any] = {"span_id": span.span_id, "parent_id": span.parent_id}
+        for key, value in span.attrs.items():
+            if not key.startswith("_"):
+                args[key] = value
+        if span.components:
+            args["components"] = dict(span.components)
+        if span.annotations:
+            args["annotations"] = list(span.annotations)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "sim",
+                "ph": "X",
+                "pid": PID,
+                "tid": tids[span.actor],
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "args": args,
+            }
+        )
+    document = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def export_chrome_trace(tracer: Tracer, path: str, stamp_faults: bool = True) -> str:
+    """Write the Chrome trace-event JSON to ``path``; returns the JSON."""
+    text = to_chrome_trace(tracer, stamp_faults=stamp_faults)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text

@@ -77,6 +77,8 @@ class _PendingEvent:
     #: last event number assigned when the event was batched (-1 = never);
     #: lets the reconnect handshake tell durable events from lost ones
     assigned_number: int = -1
+    #: root trace span ("pravega.write"), None when tracing is off
+    span: Optional[object] = None
 
 
 @dataclass
@@ -86,6 +88,7 @@ class _Batch:
     first_event_number: int = 0
     last_event_number: int = 0
     open_time: float = 0.0
+    span: Optional[object] = None
 
 
 class _SegmentWriter:
@@ -172,6 +175,21 @@ class _SegmentWriter:
         parent = self.parent
         config = parent.config
         event_count = sum(e.event_count for e in batch.events)
+        first_span = batch.events[0].span if batch.events else None
+        rpc_span = None
+        if first_span is not None:
+            batch.span = first_span.child(
+                "pravega.batch",
+                start=batch.open_time,
+                bytes=batch.size,
+                events=event_count,
+            )
+            rpc_span = batch.span.child(
+                "segmentstore.rpc_append",
+                actor=self.location.store_host,
+                bytes=batch.size,
+                segment=self.location.segment_number,
+            )
         # Client CPU: serialization + copy, serialized on the writer's core.
         cpu_time = (
             config.per_request_cpu
@@ -190,8 +208,12 @@ class _SegmentWriter:
                 writer_id=parent.writer_id,
                 event_number=batch.last_event_number,
                 event_count=event_count,
+                span=rpc_span,
             )
         except SegmentSealedError:
+            if batch.span is not None:
+                batch.span.annotate("segment-sealed")
+                batch.span.finish()
             self.sealed = True
             if batch in self._inflight:
                 self._inflight.remove(batch)
@@ -204,6 +226,9 @@ class _SegmentWriter:
             parent._reroute(self)
             return
         except (ContainerOfflineError, SegmentError) as exc:
+            if batch.span is not None:
+                batch.span.annotate("rpc-error", error=type(exc).__name__)
+                batch.span.finish()
             if batch in self._inflight:
                 self._inflight.remove(batch)
             self.outstanding -= 1
@@ -221,6 +246,13 @@ class _SegmentWriter:
         self._release_window()
         parent.events_written += event_count
         parent.bytes_written += batch.size
+        if batch.span is not None:
+            if rpc_span is not None:
+                batch.span.absorb(rpc_span)
+            batch.span.finish()
+            for event in batch.events:
+                if event.span is not None:
+                    event.span.absorb(batch.span)
         for event in batch.events:
             if not event.future.done:
                 event.future.set_result(
@@ -273,6 +305,8 @@ class EventStreamWriter:
         self.events_written = 0
         self.bytes_written = 0
         self._unacked = 0
+        #: optional repro.obs.Tracer; None keeps the write path untraced
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Segment discovery / routing
@@ -359,7 +393,19 @@ class EventStreamWriter:
         self, payload: Payload, event_count: int, routing_key: Optional[str]
     ) -> SimFuture:
         fut = self.sim.future()
-        event = _PendingEvent(payload, event_count, fut, self.sim.now, routing_key)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.span(
+                "pravega.write",
+                actor=self.writer_id,
+                bytes=payload.size,
+                events=event_count,
+            )
+            if span is not None:
+                fut.add_callback(lambda f, s=span: s.finish())
+        event = _PendingEvent(
+            payload, event_count, fut, self.sim.now, routing_key, span=span
+        )
         self._unacked += 1
         fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
 

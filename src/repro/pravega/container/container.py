@@ -135,6 +135,7 @@ class SegmentContainer:
         config: Optional[ContainerConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         faults=None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.container_id = container_id
@@ -142,6 +143,9 @@ class SegmentContainer:
         self.metrics = metrics or MetricsRegistry()
         #: fault-injection hook (repro.faults.FaultEngine); unwired by default
         self.faults = faults
+        #: optional repro.obs.Tracer (spans arrive via append/read kwargs;
+        #: the tracer itself is only needed for background tiering spans)
+        self.tracer = tracer
         self.segments: Dict[str, SegmentState] = {}
         self.cache = BlockCache(self.config.cache)
         self.cache_manager = CacheManager(self.cache)
@@ -159,6 +163,7 @@ class SegmentContainer:
         self.storage_writer = StorageWriter(
             sim, container_id, lts, self.config.storage, faults=faults
         )
+        self.storage_writer.tracer = tracer
         self.storage_writer.on_flush = self._on_flush
         self.storage_writer.on_truncation_candidate = self._on_truncation_candidate
         self.storage_writer.external_backlog_provider = lambda: self._unapplied_bytes
@@ -363,6 +368,7 @@ class SegmentContainer:
         writer_id: str = "",
         event_number: int = -1,
         event_count: int = 1,
+        span=None,
     ) -> SimFuture:
         """Append bytes; resolves with :class:`AppendResult` once durable.
 
@@ -387,9 +393,19 @@ class SegmentContainer:
                 return done
 
         def run():
+            append_span = None
+            if span is not None:
+                append_span = span.child(
+                    "container.append",
+                    actor=f"container-{self.container_id}",
+                    segment=segment,
+                    bytes=payload.size,
+                )
             gate = self.storage_writer.admission_gate()
             if not gate.done:
                 self.metrics.counter("append.throttled").add()
+                if append_span is not None:
+                    append_span.annotate("admission-throttled")
                 yield gate
             # Cache pressure also throttles ingestion: unflushed data is
             # pinned, so an overflowing cache means tiering is behind.
@@ -416,12 +432,20 @@ class SegmentContainer:
             self._track_rates(segment, event_count, payload.size)
             self._count_op()
             self._unapplied_bytes += payload.size
+            if append_span is not None:
+                op.trace_span = append_span
             try:
                 yield self.durable_log.add(op)
             except BaseException:
                 self._unapplied_bytes -= payload.size
                 self.storage_writer.release_check()
+                if append_span is not None:
+                    append_span.annotate("wal-error")
+                    append_span.finish()
                 raise
+            if append_span is not None:
+                append_span.finish()
+                span.absorb(append_span)
             return AppendResult(offset=op.offset)
 
         return self.sim.process(run())
@@ -626,7 +650,7 @@ class SegmentContainer:
     # ------------------------------------------------------------------
     # Read path (§4.2)
     # ------------------------------------------------------------------
-    def read(self, segment: str, offset: int, max_bytes: int) -> SimFuture:
+    def read(self, segment: str, offset: int, max_bytes: int, span=None) -> SimFuture:
         """Read up to ``max_bytes`` from ``offset``.
 
         Serves from cache when resident, fetches from LTS (with parallel
@@ -644,36 +668,60 @@ class SegmentContainer:
             )
 
         def run():
-            while True:
-                state = self._state(segment)
-                available = state.applied_length - offset
-                if available <= 0:
-                    if state.sealed:
-                        return ReadResult(Payload.empty(), offset, end_of_segment=True)
-                    waiter = self.sim.future()
-                    self._tail_waiters.setdefault(segment, []).append((offset, waiter))
-                    end_of_segment = yield waiter
-                    if end_of_segment:
-                        return ReadResult(Payload.empty(), offset, end_of_segment=True)
-                    continue
-                want = min(max_bytes, available)
-                index = self._read_index(segment)
-                cached = index.read_cached(offset, want)
-                if cached is not None and cached.size > 0:
-                    self.metrics.counter("read.cache_bytes").add(cached.size)
-                    return ReadResult(cached, offset)
-                # Cache miss: fetch the chunk covering `offset` from LTS and
-                # prefetch the next chunks in parallel (Fig. 12).
-                yield from self._fetch_from_lts(segment, offset)
-                cached = index.read_cached(offset, want)
-                if cached is not None and cached.size > 0:
-                    self.metrics.counter("read.lts_bytes").add(cached.size)
-                    return ReadResult(cached, offset)
-                raise StreamError(
-                    f"data unavailable at {segment}@{offset} "
-                    f"(applied={state.applied_length}, "
-                    f"flushed={self.storage_writer.flushed_offset(segment)})"
+            read_span = None
+            if span is not None:
+                read_span = span.child(
+                    "container.read",
+                    actor=f"container-{self.container_id}",
+                    segment=segment,
+                    offset=offset,
                 )
+            waited = False
+
+            def done(source: str):
+                if read_span is not None:
+                    read_span.attrs["source"] = source
+                    read_span.finish()
+
+            try:
+                while True:
+                    state = self._state(segment)
+                    available = state.applied_length - offset
+                    if available <= 0:
+                        if state.sealed:
+                            done("eos")
+                            return ReadResult(Payload.empty(), offset, end_of_segment=True)
+                        waiter = self.sim.future()
+                        self._tail_waiters.setdefault(segment, []).append((offset, waiter))
+                        end_of_segment = yield waiter
+                        waited = True
+                        if end_of_segment:
+                            done("eos")
+                            return ReadResult(Payload.empty(), offset, end_of_segment=True)
+                        continue
+                    want = min(max_bytes, available)
+                    index = self._read_index(segment)
+                    cached = index.read_cached(offset, want)
+                    if cached is not None and cached.size > 0:
+                        self.metrics.counter("read.cache_bytes").add(cached.size)
+                        done("tail" if waited else "cache")
+                        return ReadResult(cached, offset)
+                    # Cache miss: fetch the chunk covering `offset` from LTS and
+                    # prefetch the next chunks in parallel (Fig. 12).
+                    yield from self._fetch_from_lts(segment, offset)
+                    cached = index.read_cached(offset, want)
+                    if cached is not None and cached.size > 0:
+                        self.metrics.counter("read.lts_bytes").add(cached.size)
+                        done("lts")
+                        return ReadResult(cached, offset)
+                    raise StreamError(
+                        f"data unavailable at {segment}@{offset} "
+                        f"(applied={state.applied_length}, "
+                        f"flushed={self.storage_writer.flushed_offset(segment)})"
+                    )
+            finally:
+                if read_span is not None and read_span.end is None:
+                    read_span.finish()
 
         return self.sim.process(run())
 

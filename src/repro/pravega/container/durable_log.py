@@ -250,11 +250,24 @@ class DurableLog:
                 ledger_info = self._ledgers[-1]
 
             started = self.sim.now
+            # One frame span per WAL entry, parented on the first traced
+            # operation; absorbed into every batched op (shared-span model).
+            frame_span = None
+            for queued in batch:
+                op_span = getattr(queued.operation, "trace_span", None)
+                if op_span is not None:
+                    frame_span = op_span.child(
+                        "durablelog.frame", bytes=frame_size, ops=len(batch)
+                    )
+                    break
             try:
                 yield self._current_ledger.append(
-                    Payload.synthetic(frame_size), record=frame
+                    Payload.synthetic(frame_size), record=frame, span=frame_span
                 )
             except BookkeeperError as exc:
+                if frame_span is not None:
+                    frame_span.annotate("wal-fatal", error=type(exc).__name__)
+                    frame_span.finish()
                 # Fenced or quorum lost: the container must shut down (§4.4).
                 for queued in batch:
                     if not queued.future.done:
@@ -270,6 +283,13 @@ class DurableLog:
             ledger_info.last_sequence = frame.last_sequence
             self.frames_written += 1
             self.bytes_written += frame_size
+
+            if frame_span is not None:
+                frame_span.finish()
+                for queued in batch:
+                    op_span = getattr(queued.operation, "trace_span", None)
+                    if op_span is not None:
+                        op_span.absorb(frame_span)
 
             # Accept the frame: apply operations to the container state.
             for queued in batch:

@@ -83,6 +83,8 @@ class StorageWriter:
         self.config = config or StorageWriterConfig()
         #: fault-injection hook (repro.faults.FaultEngine); unwired by default
         self.faults = faults
+        #: optional repro.obs.Tracer; traces LTS chunk writes when set
+        self.tracer = None
         self._pending: Dict[str, _PendingData] = {}
         #: segments with a flush loop currently running (one per segment)
         self._flushing: set[str] = set()
@@ -198,6 +200,15 @@ class StorageWriter:
                     start_offset=pending.start_offset,
                     length=payload.size,
                 )
+                chunk_span = None
+                if self.tracer is not None:
+                    chunk_span = self.tracer.span(
+                        "lts.chunk_write",
+                        actor=f"container-{self.container_id}",
+                        segment=segment,
+                        chunk=chunk.chunk_name,
+                        bytes=payload.size,
+                    )
                 try:
                     if self.faults is not None:
                         extra = self.faults.lts_op(f"container-{self.container_id}")
@@ -212,15 +223,22 @@ class StorageWriter:
                         # name: tiering is idempotent (§4.3), and the
                         # rewrite covers at least the old bytes (recovery
                         # re-feeds the same WAL data) — replace it.
+                        if chunk_span is not None:
+                            chunk_span.annotate("idempotent-rewrite")
                         yield self.lts.delete_chunk(chunk.chunk_name)
                         yield self.lts.write_chunk(chunk.chunk_name, payload)
                 except Exception:
+                    if chunk_span is not None:
+                        chunk_span.annotate("lts-error")
+                        chunk_span.finish()
                     # transient LTS failure: re-buffer and retry shortly
                     self._requeue(segment, pending)
                     if not self._running:
                         return
                     yield self.sim.timeout(0.05)
                     continue
+                if chunk_span is not None:
+                    chunk_span.finish()
                 self.chunks.setdefault(segment, []).append(chunk)
                 self.storage_length[segment] = chunk.end_offset
                 self.chunks_written += 1

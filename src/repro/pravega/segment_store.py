@@ -69,6 +69,8 @@ class SegmentStore:
         self.bytes_ingested = 0
         #: fault-injection hook (repro.faults.FaultEngine); unwired by default
         self.fault_engine = None
+        #: optional repro.obs.Tracer, handed to hosted containers
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Container hosting
@@ -85,6 +87,7 @@ class SegmentStore:
             self.config.container,
             self.metrics,
             faults=self.fault_engine,
+            tracer=self.tracer,
         )
         self.containers[container_id] = container
         return container.recover() if recover else container.start()
@@ -131,18 +134,31 @@ class SegmentStore:
         request_bytes: int,
         handler: Callable[[], SimFuture],
         reply_bytes: int = RPC_OVERHEAD,
+        span=None,
     ) -> SimFuture:
         """Request transfer -> processing -> handler -> reply transfer."""
         result = self.sim.future()
 
         def run():
-            yield self.network.transfer(client_host, self.name, request_bytes)
-            if not self.alive:
-                raise ContainerOfflineError(f"store {self.name} is down")
-            yield self.sim.timeout(self.config.request_processing_time)
-            value = yield handler()
-            yield self.network.transfer(self.name, client_host, reply_bytes)
-            return value
+            try:
+                if span is not None:
+                    t_request = self.sim.now
+                yield self.network.transfer(client_host, self.name, request_bytes)
+                if span is not None:
+                    span.component("network", self.sim.now - t_request)
+                if not self.alive:
+                    raise ContainerOfflineError(f"store {self.name} is down")
+                yield self.sim.timeout(self.config.request_processing_time)
+                value = yield handler()
+                if span is not None:
+                    t_reply = self.sim.now
+                yield self.network.transfer(self.name, client_host, reply_bytes)
+                if span is not None:
+                    span.component("network", self.sim.now - t_reply)
+                return value
+            finally:
+                if span is not None:
+                    span.finish()
 
         proc = self.sim.process(run())
         proc.add_callback(
@@ -160,27 +176,28 @@ class SegmentStore:
         writer_id: str = "",
         event_number: int = -1,
         event_count: int = 1,
+        span=None,
     ) -> SimFuture:
         """Append a (batched) payload to a segment; resolves with AppendResult."""
         self.bytes_ingested += payload.size
 
         def handler():
             return self.container_for(segment).append(
-                segment, payload, writer_id, event_number, event_count
+                segment, payload, writer_id, event_number, event_count, span=span
             )
 
         return self._rpc(
-            client_host, RPC_OVERHEAD + payload.size, handler
+            client_host, RPC_OVERHEAD + payload.size, handler, span=span
         )
 
     def rpc_read(
-        self, client_host: str, segment: str, offset: int, max_bytes: int
+        self, client_host: str, segment: str, offset: int, max_bytes: int, span=None
     ) -> SimFuture:
         """Read from a segment; resolves with ReadResult (tail reads wait)."""
         reply_holder: Dict[str, int] = {"bytes": RPC_OVERHEAD}
 
         def handler():
-            fut = self.container_for(segment).read(segment, offset, max_bytes)
+            fut = self.container_for(segment).read(segment, offset, max_bytes, span=span)
 
             def note_size(f: SimFuture) -> None:
                 if f.exception is None:
@@ -192,13 +209,25 @@ class SegmentStore:
         result = self.sim.future()
 
         def run():
-            yield self.network.transfer(client_host, self.name, RPC_OVERHEAD)
-            if not self.alive:
-                raise ContainerOfflineError(f"store {self.name} is down")
-            yield self.sim.timeout(self.config.request_processing_time)
-            value = yield handler()
-            yield self.network.transfer(self.name, client_host, reply_holder["bytes"])
-            return value
+            try:
+                if span is not None:
+                    t_request = self.sim.now
+                yield self.network.transfer(client_host, self.name, RPC_OVERHEAD)
+                if span is not None:
+                    span.component("network", self.sim.now - t_request)
+                if not self.alive:
+                    raise ContainerOfflineError(f"store {self.name} is down")
+                yield self.sim.timeout(self.config.request_processing_time)
+                value = yield handler()
+                if span is not None:
+                    t_reply = self.sim.now
+                yield self.network.transfer(self.name, client_host, reply_holder["bytes"])
+                if span is not None:
+                    span.component("network", self.sim.now - t_reply)
+                return value
+            finally:
+                if span is not None:
+                    span.finish()
 
         proc = self.sim.process(run())
         proc.add_callback(

@@ -176,17 +176,29 @@ class PulsarBroker:
     # Produce path
     # ------------------------------------------------------------------
     def publish(
-        self, client_host: str, partition: str, payload: Payload, record_count: int
+        self,
+        client_host: str,
+        partition: str,
+        payload: Payload,
+        record_count: int,
+        span=None,
     ) -> SimFuture:
         """One producer batch -> one Bookkeeper entry."""
 
         def run():
+            if span is not None:
+                t_request = self.sim.now
             yield self.network.transfer(
                 client_host, self.name, payload.size + RPC_OVERHEAD
             )
+            if span is not None:
+                span.component("network", self.sim.now - t_request)
             if self.faults is not None:
                 self.faults.node_op(self.name)
             if not self.alive:
+                if span is not None:
+                    span.annotate("broker-down")
+                    span.finish()
                 raise BrokerCrashedError(self.name)
             yield self.sim.timeout(self.config.request_processing_time)
             yield self.cpu.submit(
@@ -206,8 +218,11 @@ class PulsarBroker:
             self.replication_buffer += payload.size
             if self.replication_buffer > self.config.memory_limit:
                 self.crash("replication buffer exceeded memory limit")
+                if span is not None:
+                    span.annotate("replication-buffer-oom")
+                    span.finish()
                 raise BrokerCrashedError(self.name)
-            append = managed.current.handle.append(payload)
+            append = managed.current.handle.append(payload, span=span)
 
             def full_replication_done(_: SimFuture) -> None:
                 self.replication_buffer = max(
@@ -232,7 +247,12 @@ class PulsarBroker:
             self.bytes_written += payload.size
             managed.maybe_rollover()
             self._wake_dispatch(partition)
+            if span is not None:
+                t_reply = self.sim.now
             yield self.network.transfer(self.name, client_host, RPC_OVERHEAD)
+            if span is not None:
+                span.component("network", self.sim.now - t_reply)
+                span.finish()
             return offset
 
         return self.sim.process(run())

@@ -43,6 +43,8 @@ class _Record:
     size: int
     count: int
     future: SimFuture
+    #: root trace span ("pulsar.send"), None when tracing is off
+    span: Optional[object] = None
 
 
 @dataclass
@@ -79,6 +81,8 @@ class PulsarProducer:
         self._unacked = 0
         self.records_sent = 0
         self.bytes_sent = 0
+        #: optional repro.obs.Tracer; None keeps the publish path untraced
+        self.tracer = None
 
     @property
     def num_partitions(self) -> int:
@@ -146,7 +150,14 @@ class PulsarProducer:
         self._unacked += 1
         fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
         partition = self._partition_for(key)
-        record = _Record(size, count, fut)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.span(
+                "pulsar.send", actor=self.producer_id, bytes=size, events=count
+            )
+            if span is not None:
+                fut.add_callback(lambda f, s=span: s.finish())
+        record = _Record(size, count, fut, span=span)
         if not self.config.batching:
             self.sim.process(self._publish(partition, [record], size))
             return fut
@@ -191,11 +202,23 @@ class PulsarProducer:
         self._pending[partition] = self._pending.get(partition, 0) + count
         partition_name = f"{self.topic}-{partition}"
         broker = self.cluster.broker_for(partition_name)
+        first_span = next((r.span for r in records if r.span is not None), None)
+        publish_span = None
+        if first_span is not None:
+            publish_span = first_span.child(
+                "pulsar.publish", actor=broker.name, bytes=size, partition=partition
+            )
         try:
             yield broker.publish(
-                self.host, partition_name, Payload.synthetic(size), count
+                self.host,
+                partition_name,
+                Payload.synthetic(size),
+                count,
+                span=publish_span,
             )
         except Exception as exc:  # noqa: BLE001 - fail the records
+            if publish_span is not None:
+                publish_span.annotate("publish-error", error=type(exc).__name__)
             for record in records:
                 if not record.future.done:
                     record.future.set_exception(exc)
@@ -207,6 +230,12 @@ class PulsarProducer:
                 waiters.pop(0).set_result(None)
         self.records_sent += count
         self.bytes_sent += size
+        if publish_span is not None:
+            # Shared publish: every record in the batch experiences the
+            # full broker round trip.
+            for record in records:
+                if record.span is not None:
+                    record.span.absorb(publish_span)
         for record in records:
             if not record.future.done:
                 record.future.set_result(partition)

@@ -1,0 +1,95 @@
+"""Golden span-tree workload for tracing-determinism tests.
+
+``build_pravega_trace`` runs a small deterministic Pravega workload with
+the tracer armed and returns the resulting span forest in a structural,
+JSON-able form: one record per finished span with its name, actor,
+parentage, interval and critical-path components.
+
+The expected output lives in ``tests/data/golden_trace_pravega.json``;
+``test_trace_golden.py`` asserts the instrumentation keeps producing the
+same tree.  Regenerate (only when the span *shape* deliberately
+changes — new spans, renamed spans, different parentage) with::
+
+    PYTHONPATH=src python tests/golden_trace.py > tests/data/golden_trace_pravega.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+from repro.obs import Tracer, to_chrome_trace
+from repro.sim import Simulator
+
+SPEC = WorkloadSpec(
+    event_size=100,
+    target_rate=240.0,
+    partitions=2,
+    producers=1,
+    duration=0.25,
+    warmup=0.1,
+    key_mode="random",
+)
+
+
+def build_pravega_trace() -> dict:
+    # Writer ids come from a process-global counter; pin it so the
+    # golden actor names don't depend on which tests ran earlier in
+    # this pytest process.
+    from repro.pravega.client.writer import EventStreamWriter
+
+    EventStreamWriter._writer_counter = 0
+    sim = Simulator()
+    tracer = Tracer(sim)
+    adapter = PravegaAdapter(sim, journal_sync=True, tracer=tracer)
+    result = run_workload(sim, adapter, SPEC, tracer=tracer)
+    # Let the storage writer's age timer fire so the tree includes the
+    # background tiering spans (lts.chunk_write).
+    sim.run(until=sim.now + 1.0)
+    spans: List[dict] = []
+    for span in tracer.spans:
+        if span.end is None:
+            continue
+        spans.append(
+            {
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "actor": span.actor,
+                "start": span.start,
+                "end": span.end,
+                "components": {
+                    kind: span.components[kind] for kind in sorted(span.components)
+                },
+            }
+        )
+    return {
+        "spec": {
+            "target_rate": SPEC.target_rate,
+            "partitions": SPEC.partitions,
+            "duration": SPEC.duration,
+        },
+        "acked_events": int(result.extra["produced_total"]),
+        "chrome_trace_sha": _sha(to_chrome_trace(tracer)),
+        "spans": spans,
+    }
+
+
+def _sha(text: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def main() -> None:
+    golden = build_pravega_trace()
+    spans = golden.pop("spans")
+    # One span per line keeps the fixture diffable without indent bloat.
+    lines = ",\n  ".join(json.dumps(s, sort_keys=True) for s in spans)
+    head = json.dumps(golden, sort_keys=True)[1:-1]
+    print("{" + head + ', "spans": [\n  ' + lines + "\n]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -239,6 +239,31 @@ class TestMetrics:
         # Quantiles remain approximately correct after downsampling.
         assert abs(hist.p50 - 500.0) < 60
 
+    def test_histogram_max_survives_reservoir_halving(self):
+        """Regression: ``self._sorted[::2]`` keeps even indices, so the
+        largest sample (last index, odd after an overflow to an even
+        length) used to vanish from the reported max — and once the
+        stride starts skipping records, a later true max could be
+        dropped before ever reaching the reservoir."""
+        hist = LatencyHistogram()
+        n = hist.max_samples + 2  # overflow the 200k reservoir
+        for v in range(n):
+            hist.record(float(v))  # increasing: insort appends in O(1)
+        assert hist.count == n
+        # The buggy halving reported max == 200000.0 here.
+        assert hist.max == float(n - 1)
+        # The stride now skips every other sample; a fresh record-high
+        # value must still be reflected exactly.
+        hist.record(1e9)
+        assert hist.max == 1e9
+
+    def test_histogram_max_small_counts_unaffected(self):
+        hist = LatencyHistogram()
+        assert math.isnan(hist.max)
+        for v in (3.0, 1.0, 2.0):
+            hist.record(v)
+        assert hist.max == 3.0
+
     def test_rate_meter_converges(self):
         meter = RateMeter(half_life=1.0)
         t = 0.0

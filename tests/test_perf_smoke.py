@@ -4,13 +4,22 @@ Runs ``benchmarks/bench_kernel.py --check`` — trimmed scenarios under
 generous wall-clock budgets (an order of magnitude above current numbers,
 so only a catastrophic kernel regression trips it).  Also runnable as
 ``make perf``.
+
+Also guards the tracing subsystem's zero-cost-when-disabled contract:
+a disabled ``repro.obs.Tracer`` wired through the full Pravega write
+path must allocate no spans and stay within 5% of the untraced
+baseline's wall time.
 """
 
 import os
 import subprocess
 import sys
+import time
 
 import pytest
+
+from repro.obs import Tracer
+from repro.sim import Simulator
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH = os.path.join(REPO_ROOT, "benchmarks", "bench_kernel.py")
@@ -31,4 +40,58 @@ def test_kernel_perf_smoke():
     )
     assert proc.returncode == 0, (
         f"kernel perf smoke failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+def _timed_mini_run(tracer):
+    """One small Pravega run through the bench driver; returns wall seconds."""
+    from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+
+    sim = Simulator()
+    if tracer is not None:
+        tracer.sim = sim
+    adapter = PravegaAdapter(sim, tracer=tracer)
+    spec = WorkloadSpec(
+        event_size=100,
+        target_rate=5_000,
+        partitions=2,
+        producers=1,
+        consumers=0,
+        duration=1.0,
+        warmup=0.2,
+    )
+    start = time.perf_counter()
+    run_workload(sim, adapter, spec, tracer=tracer)
+    return time.perf_counter() - start
+
+
+@pytest.mark.perf
+@pytest.mark.trace
+def test_tracing_disabled_is_zero_cost():
+    """Disabled tracer: zero span allocations and <= 5% wall overhead.
+
+    Runs are interleaved and we compare min-of-N wall times so transient
+    machine noise (GC, scheduler) can't fail either side spuriously; the
+    simulation itself is deterministic, so min-of-N converges fast.
+    """
+    repeats = 5
+    baseline = []
+    disabled = []
+    tracer = Tracer(Simulator(), enabled=False)
+    # Untimed warmup pass: pay one-time import/allocator costs up front.
+    _timed_mini_run(None)
+    _timed_mini_run(tracer)
+    for _ in range(repeats):
+        baseline.append(_timed_mini_run(None))
+        disabled.append(_timed_mini_run(tracer))
+    assert tracer.spans_created == 0, (
+        f"disabled tracer allocated {tracer.spans_created} spans"
+    )
+    assert not tracer.spans
+    best_baseline = min(baseline)
+    best_disabled = min(disabled)
+    assert best_disabled <= best_baseline * 1.05, (
+        f"disabled tracing overhead {best_disabled / best_baseline - 1:+.1%} "
+        f"exceeds 5% budget (baseline {best_baseline * 1e3:.1f} ms, "
+        f"disabled {best_disabled * 1e3:.1f} ms)"
     )

@@ -1,0 +1,67 @@
+"""Fault visibility in traces: replay the committed regression fault
+schedule with the tracer armed and require the injected windows to show
+up as annotations on the spans they overlap."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.scenarios import run_pravega
+from repro.obs import Tracer
+from repro.sim import Simulator
+
+pytestmark = [pytest.mark.trace, pytest.mark.faults]
+
+DATA = Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="module")
+def traced_regression_run():
+    plan = FaultPlan.load(DATA / "faultplan_regression_pravega.json")
+    # run_pravega builds its own Simulator and rebinds the tracer to it.
+    tracer = Tracer(Simulator())
+    result = run_pravega(39, 120, plan=plan, tracer=tracer)
+    tracer.stamp_fault_windows()
+    return tracer, result
+
+
+def test_regression_run_still_passes_with_tracing(traced_regression_run):
+    tracer, result = traced_regression_run
+    assert result.ok, result.violations
+    assert tracer.spans, "tracing produced no spans"
+
+
+def test_windowed_faults_are_recorded(traced_regression_run):
+    tracer, result = traced_regression_run
+    recorded = {action for _, _, action, _ in tracer.fault_windows}
+    assert "disk_stall" in recorded
+    assert "net_partition" in recorded
+    assert "lts_fail" in recorded
+
+
+def test_fault_windows_annotate_overlapping_spans(traced_regression_run):
+    tracer, _ = traced_regression_run
+    labels = {}
+    for span in tracer.spans:
+        for annotation in span.annotations:
+            if annotation["label"].startswith("fault:"):
+                labels.setdefault(annotation["label"], []).append(
+                    (span, annotation)
+                )
+    assert "fault:disk_stall" in labels, sorted(labels)
+    assert "fault:net_partition" in labels, sorted(labels)
+    # Every stamped span must genuinely overlap its fault window.
+    for entries in labels.values():
+        for span, annotation in entries:
+            assert span.end is not None
+            assert span.start < annotation["window_end"]
+            assert annotation["window_start"] < span.end
+
+
+def test_stamping_is_idempotent(traced_regression_run):
+    tracer, _ = traced_regression_run
+    before = sum(len(s.annotations) for s in tracer.spans)
+    assert tracer.stamp_fault_windows() == 0
+    after = sum(len(s.annotations) for s in tracer.spans)
+    assert before == after

@@ -1,0 +1,76 @@
+"""Golden span-tree tests for the tracing subsystem.
+
+``tests/data/golden_trace_pravega.json`` is the span forest of a small
+deterministic Pravega workload.  These tests prove the instrumentation
+keeps producing the same tree — same span names, same parentage, same
+intervals and component attributions — and that the Chrome export stays
+byte-stable (via its committed digest).
+"""
+
+import json
+import os
+
+import pytest
+
+from golden_trace import build_pravega_trace
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "golden_trace_pravega.json"
+)
+
+pytestmark = pytest.mark.trace
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return build_pravega_trace()
+
+
+def test_span_forest_is_identical(golden, current):
+    assert current["acked_events"] == golden["acked_events"]
+    assert current["spans"] == golden["spans"]
+
+
+def test_chrome_export_is_byte_stable(golden, current):
+    assert current["chrome_trace_sha"] == golden["chrome_trace_sha"]
+
+
+def test_golden_tree_covers_the_write_path(golden):
+    """Guard the fixture itself: it must keep exercising the full
+    Pravega write path down to the bookies and the tiering engine."""
+    names = {span["name"] for span in golden["spans"]}
+    assert {
+        "pravega.write",
+        "pravega.batch",
+        "segmentstore.rpc_append",
+        "container.append",
+        "durablelog.frame",
+        "bk.entry",
+        "bk.replica",
+        "lts.chunk_write",
+    } <= names
+
+
+def test_golden_parentage_is_wellformed(golden):
+    spans = {span["id"]: span for span in golden["spans"]}
+    expected_parent = {
+        "pravega.batch": "pravega.write",
+        "segmentstore.rpc_append": "pravega.batch",
+        "container.append": "segmentstore.rpc_append",
+        "durablelog.frame": "container.append",
+        "bk.entry": "durablelog.frame",
+        "bk.replica": "bk.entry",
+    }
+    for span in golden["spans"]:
+        want = expected_parent.get(span["name"])
+        if want is None:
+            continue
+        parent = spans.get(span["parent"])
+        assert parent is not None, span
+        assert parent["name"] == want, (span, parent)
