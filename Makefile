@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf bench-kernel fuzz trace trace-test
+.PHONY: test perf bench-kernel fuzz trace trace-test suite suite-check
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -31,3 +31,13 @@ trace:
 ## tracing subsystem tests only (golden trace, properties, fault windows)
 trace-test:
 	$(PYTHON) -m pytest -q -m trace
+
+## full figure suite across worker processes; writes BENCH_suite.json
+## (override: JOBS=8 ONLY=fig05a,fig08a)
+suite:
+	$(PYTHON) -m repro.bench suite --jobs $(or $(JOBS),4) \
+		$(if $(ONLY),--only $(ONLY)) --json BENCH_suite.json
+
+## fast smoke of the suite runner: serial vs parallel determinism
+suite-check:
+	$(PYTHON) -m repro.bench suite --check --jobs $(or $(JOBS),4)

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Thin wrapper so the suite runner lives next to the figure benchmarks.
+
+Equivalent to ``python -m repro.bench suite``; see
+``src/repro/bench/suite.py`` for the actual runner.
+
+    python benchmarks/run_suite.py --jobs 4 --json BENCH_suite.json
+    python benchmarks/run_suite.py --check
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.suite import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,406 @@
+"""Parallel figure-suite runner.
+
+Every figure benchmark is a deterministic, single-threaded simulation, so
+the whole suite is embarrassingly parallel: this module fans the figure
+scenarios out across a ``ProcessPoolExecutor`` and collects per-scenario
+wall time, simulated time, kernel events and headline metrics into one
+JSON report (committed as ``BENCH_suite.json``).
+
+Determinism contract: a scenario's *results* (simulated time, kernel
+event counts, figure metrics) are identical regardless of ``--jobs`` —
+only wall-clock timing fields may differ between runs.  ``--check``
+exercises the machinery on three fast smoke scenarios and verifies that
+contract across serial and parallel execution.
+
+Usage::
+
+    python -m repro.bench suite --jobs 4 --json BENCH_suite.json
+    python -m repro.bench suite --check
+    python benchmarks/run_suite.py --jobs 4 --only fig05,fig08
+
+Scenario functions run with their pytest-benchmark ``benchmark`` fixture
+replaced by a no-timing stand-in, so the figure modules' own shape
+assertions still execute (a failing claim marks the scenario ``ok:
+false`` instead of aborting the suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["SCENARIOS", "run_scenario", "run_suite", "main"]
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One suite entry: a callable in a figure-benchmark module."""
+
+    name: str
+    module: str  # module under benchmarks/ (e.g. "bench_fig05_durability")
+    func: str  # test function taking the benchmark fixture
+    seed: int  # per-scenario seed (recorded; sims are deterministic)
+    #: rough relative cost, used to schedule long scenarios first so a
+    #: straggler does not serialize the tail of the parallel run
+    weight: int = 1
+    smoke: bool = False
+
+
+def _registry() -> Dict[str, Scenario]:
+    figure = [
+        # name, module, func, weight
+        ("fig05a", "bench_fig05_durability", "test_fig05a_one_segment", 8),
+        ("fig05b", "bench_fig05_durability", "test_fig05b_sixteen_segments", 8),
+        ("fig05c", "bench_fig05_durability", "test_fig05_pravega_no_flush_gain_is_modest", 4),
+        ("fig06a", "bench_fig06_batching", "test_fig06a_one_segment", 6),
+        ("fig06b", "bench_fig06_batching", "test_fig06b_kafka_more_batching_backfires", 4),
+        ("fig07a", "bench_fig07_large_events", "test_fig07a_one_segment", 6),
+        ("fig07b", "bench_fig07_large_events", "test_fig07b_sixteen_segments", 6),
+        ("fig08a", "bench_fig08_tail_reads", "test_fig08a_one_segment", 6),
+        ("fig08b", "bench_fig08_tail_reads", "test_fig08b_reads_at_16_partitions", 6),
+        ("fig09", "bench_fig09_routing_keys", "test_fig09_routing_keys", 8),
+        ("fig10a", "bench_fig10_parallelism", "test_fig10a_pravega_and_kafka", 10),
+        ("fig10b", "bench_fig10_parallelism", "test_fig10b_pulsar_instability", 6),
+        ("fig11", "bench_fig11_max_throughput", "test_fig11_max_throughput", 10),
+        ("fig11b", "bench_fig11_max_throughput", "test_fig11_drive_level_overhead", 4),
+        ("fig12", "bench_fig12_historical", "test_fig12_historical_reads", 6),
+        ("fig13", "bench_fig13_autoscaling", "test_fig13_autoscaling", 6),
+        ("table1", "bench_table1_config", "test_table1_deployment", 2),
+    ]
+    entries: Dict[str, Scenario] = {}
+    for i, (name, module, func, weight) in enumerate(figure):
+        entries[name] = Scenario(name, module, func, seed=1000 + i, weight=weight)
+    for i, system in enumerate(("pravega", "kafka", "pulsar")):
+        name = f"smoke_{system}"
+        entries[name] = Scenario(
+            name, "", f"_smoke_{system}", seed=2000 + i, weight=1, smoke=True
+        )
+    return entries
+
+
+SCENARIOS: Dict[str, Scenario] = _registry()
+
+
+# ----------------------------------------------------------------------
+# Smoke scenarios: tiny in-process workloads exercising each system's
+# message path end to end (used by --check and the determinism tests)
+# ----------------------------------------------------------------------
+def _smoke_spec():
+    from repro.bench.runner import WorkloadSpec
+
+    return WorkloadSpec(
+        event_size=100,
+        target_rate=5_000,
+        partitions=2,
+        producers=1,
+        consumers=1,
+        duration=1.0,
+        warmup=0.25,
+    )
+
+
+def _run_smoke(make_adapter) -> dict:
+    from repro.bench.runner import run_workload
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    adapter = make_adapter(sim)
+    result = run_workload(sim, adapter, _smoke_spec())
+    return {
+        "produce_rate": result.produce_rate,
+        "consume_rate": result.consume_rate,
+        "write_p50_us": result.write_latency.p50 * 1e6,
+        "e2e_p95_us": result.e2e_latency.p95 * 1e6,
+    }
+
+
+def _smoke_pravega(benchmark) -> None:
+    from repro.bench.adapters import PravegaAdapter
+
+    benchmark.extra_info.update(
+        _run_smoke(lambda sim: PravegaAdapter(sim, journal_sync=True))
+    )
+
+
+def _smoke_kafka(benchmark) -> None:
+    from repro.bench.adapters import KafkaAdapter
+
+    benchmark.extra_info.update(
+        _run_smoke(lambda sim: KafkaAdapter(sim, flush_every_message=False))
+    )
+
+
+def _smoke_pulsar(benchmark) -> None:
+    from repro.bench.adapters import PulsarAdapter
+
+    benchmark.extra_info.update(_run_smoke(lambda sim: PulsarAdapter(sim)))
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+class _SuiteBenchmark:
+    """Stand-in for the pytest-benchmark fixture: runs the experiment
+    exactly once and keeps ``extra_info`` (the headline numbers)."""
+
+    def __init__(self) -> None:
+        self.extra_info: dict = {}
+
+    def pedantic(self, fn, rounds: int = 1, iterations: int = 1, **_: object):
+        result = None
+        for _round in range(max(1, rounds) * max(1, iterations)):
+            result = fn()
+        return result
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+
+def _bench_dir() -> Path:
+    """The benchmarks/ directory of this repository checkout."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / "benchmarks"
+
+
+def run_scenario(name: str) -> dict:
+    """Execute one scenario in this process; returns its result record.
+
+    Results are deterministic; the ``wall_s`` / ``events_per_second``
+    fields are the only timing-dependent values in the record.
+    """
+    scenario = SCENARIOS[name]
+    from repro.sim.core import Simulator
+
+    import random
+
+    random.seed(scenario.seed)
+    sims: List[Simulator] = []
+    original_init = Simulator.__init__
+
+    def tracking_init(self) -> None:  # noqa: ANN001 - bound to Simulator
+        original_init(self)
+        sims.append(self)
+
+    record: dict = {"name": name, "seed": scenario.seed, "ok": True, "error": None}
+    output = io.StringIO()
+    bench = _SuiteBenchmark()
+    start = time.perf_counter()
+    try:
+        if scenario.smoke:
+            fn = globals()[scenario.func]
+        else:
+            bench_dir = str(_bench_dir())
+            if bench_dir not in sys.path:
+                sys.path.insert(0, bench_dir)
+            import importlib
+
+            module = importlib.import_module(scenario.module)
+            fn = getattr(module, scenario.func)
+        Simulator.__init__ = tracking_init  # type: ignore[method-assign]
+        with contextlib.redirect_stdout(output):
+            fn(bench)
+        record["metrics"] = _jsonable(bench.extra_info)
+    except AssertionError as exc:
+        record["ok"] = False
+        record["error"] = f"claim failed: {exc}"
+        record["metrics"] = _jsonable(bench.extra_info)
+        record["stdout_tail"] = output.getvalue()[-2000:]
+    except Exception as exc:  # noqa: BLE001 - report, don't kill the suite
+        record["ok"] = False
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc(limit=8)
+        record["metrics"] = _jsonable(bench.extra_info)
+        record["stdout_tail"] = output.getvalue()[-2000:]
+    finally:
+        Simulator.__init__ = original_init  # type: ignore[method-assign]
+    wall = time.perf_counter() - start
+    events = sum(s._events_executed + s._microtasks_executed for s in sims)
+    record["wall_s"] = round(wall, 3)
+    record["sim_time_s"] = round(sum(s._now for s in sims), 6)
+    record["simulations"] = len(sims)
+    record["kernel_events"] = events
+    record["events_per_second"] = round(events / wall) if wall > 0 else None
+    return record
+
+
+def _jsonable(info: dict) -> dict:
+    clean = {}
+    for key, value in info.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            value = repr(value)
+        clean[key] = value
+    return clean
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_suite(
+    names: List[str],
+    jobs: int = 1,
+    progress: bool = True,
+) -> dict:
+    """Run ``names`` with ``jobs`` worker processes; returns the report."""
+    for name in names:
+        if name not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r} (known: {', '.join(sorted(SCENARIOS))})"
+            )
+    # Longest-expected-first submission order: a heavy straggler started
+    # last would serialize the tail of the run.
+    ordered = sorted(names, key=lambda n: -SCENARIOS[n].weight)
+    start = time.perf_counter()
+    results: Dict[str, dict] = {}
+    if jobs <= 1:
+        for name in ordered:
+            if progress:
+                print(f"  [suite] {name} ...", flush=True)
+            results[name] = run_scenario(name)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            pending = {pool.submit(run_scenario, name): name for name in ordered}
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = pending.pop(future)
+                    results[name] = future.result()
+                    if progress:
+                        rec = results[name]
+                        status = "ok" if rec["ok"] else "FAIL"
+                        print(
+                            f"  [suite] {name}: {status} ({rec['wall_s']:.1f}s)",
+                            flush=True,
+                        )
+    suite_wall = time.perf_counter() - start
+    per_scenario = [results[name] for name in names]
+    # Sum of per-scenario walls.  On a machine with >= jobs cores this
+    # approximates a serial run and the ratio below is the parallel
+    # speedup; on a core-bound box the workers time-slice, per-scenario
+    # walls inflate by the contention factor, and the honest speedup is
+    # a measured --jobs 1 wall vs a measured --jobs N wall instead.
+    serial_estimate = sum(r["wall_s"] for r in per_scenario)
+    return {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "suite_wall_s": round(suite_wall, 3),
+        "serial_wall_estimate_s": round(serial_estimate, 3),
+        "parallel_speedup_vs_serial_estimate": (
+            round(serial_estimate / suite_wall, 2) if suite_wall > 0 else None
+        ),
+        "ok": all(r["ok"] for r in per_scenario),
+        "scenarios": per_scenario,
+    }
+
+
+def deterministic_view(report: dict) -> list:
+    """The per-scenario fields that must be identical across ``--jobs``."""
+    view = []
+    for record in report["scenarios"]:
+        view.append(
+            {
+                "name": record["name"],
+                "seed": record["seed"],
+                "ok": record["ok"],
+                "error": record["error"],
+                "metrics": record["metrics"],
+                "sim_time_s": record["sim_time_s"],
+                "simulations": record["simulations"],
+                "kernel_events": record["kernel_events"],
+            }
+        )
+    return view
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench suite",
+        description="Run the figure benchmarks in parallel worker processes.",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=max(1, os.cpu_count() or 1),
+        help="worker processes (default: cpu count)",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated scenario names (default: all figure scenarios)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fast smoke: run the 3 smoke scenarios serially AND with "
+        "--jobs workers, verify the results are identical",
+    )
+    parser.add_argument("--json", default=None, help="write the report here")
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            kind = "smoke" if scenario.smoke else scenario.module
+            print(f"  {name:12s} {kind}")
+        return 0
+
+    if args.check:
+        names = [n for n, s in SCENARIOS.items() if s.smoke]
+        print(f"suite --check: {len(names)} smoke scenarios, serial vs --jobs {args.jobs}")
+        serial = run_suite(names, jobs=1, progress=False)
+        parallel = run_suite(names, jobs=max(2, args.jobs), progress=False)
+        if deterministic_view(serial) != deterministic_view(parallel):
+            print("FAIL: results differ between serial and parallel runs")
+            return 1
+        if not serial["ok"]:
+            bad = [r["name"] for r in serial["scenarios"] if not r["ok"]]
+            print(f"FAIL: smoke scenarios failed: {', '.join(bad)}")
+            return 1
+        for record in serial["scenarios"]:
+            print(
+                f"  {record['name']:14s} ok  {record['kernel_events']:>9,} events"
+                f"  sim {record['sim_time_s']:.2f}s"
+            )
+        print("suite --check: serial and parallel results identical")
+        return 0
+
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+    else:
+        names = [n for n, s in SCENARIOS.items() if not s.smoke]
+    print(f"running {len(names)} scenarios with --jobs {args.jobs}")
+    report = run_suite(names, jobs=args.jobs)
+    print(
+        f"suite: {report['suite_wall_s']:.1f}s wall with {args.jobs} jobs "
+        f"(sum of scenario walls {report['serial_wall_estimate_s']:.1f}s, "
+        f"speedup {report['parallel_speedup_vs_serial_estimate']}x, "
+        f"{report['cpu_count']} cpus)"
+    )
+    for record in report["scenarios"]:
+        status = "ok " if record["ok"] else "FAIL"
+        print(f"  {status} {record['name']:10s} {record['wall_s']:7.1f}s")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

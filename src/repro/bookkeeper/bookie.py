@@ -38,14 +38,6 @@ __all__ = ["Bookie"]
 ENTRY_OVERHEAD = 64
 
 
-@dataclass
-class _JournalRequest:
-    entry: Entry
-    future: SimFuture
-    #: per-replica trace span (repro.obs), None when tracing is off
-    span: Optional[object] = None
-
-
 class Bookie:
     """One Bookkeeper storage server with a group-committing journal."""
 
@@ -64,7 +56,9 @@ class Bookie:
         self.page_cache = page_cache or PageCache(sim, journal_disk)
         self._ledgers: Dict[int, Dict[int, Entry]] = {}
         self._fenced: Set[int] = set()
-        self._journal_queue: List[_JournalRequest] = []
+        #: queued (entry, future, span) triples; span is the per-replica
+        #: trace span (repro.obs), None when tracing is off
+        self._journal_queue: List[tuple] = []
         self._journal_running = False
         self.alive = True
         self.entries_journaled = 0
@@ -95,7 +89,7 @@ class Bookie:
                 LedgerFencedError(f"ledger {entry.ledger_id} fenced on {self.name}")
             )
             return fut
-        self._journal_queue.append(_JournalRequest(entry, fut, span))
+        self._journal_queue.append((entry, fut, span))
         if not self._journal_running:
             self._journal_running = True
             self.sim.process(self._journal_loop())
@@ -106,7 +100,7 @@ class Bookie:
         journal_file = f"journal:{self.name}"
         while self._journal_queue:
             batch, self._journal_queue = self._journal_queue, []
-            total = sum(r.entry.payload.size + ENTRY_OVERHEAD for r in batch)
+            total = sum(entry.payload.size + ENTRY_OVERHEAD for entry, _, _ in batch)
             write_started = self.sim.now
             try:
                 if self.journal_sync:
@@ -116,9 +110,9 @@ class Bookie:
             except Exception as exc:
                 # journal device failure: this batch is lost, the loop
                 # keeps serving later requests (the device may recover)
-                for request in batch:
-                    if not request.future.done:
-                        request.future.set_exception(
+                for _, fut, _span in batch:
+                    if not fut.done:
+                        fut.set_exception(
                             BookkeeperError(
                                 f"journal write failed on {self.name}: {exc}"
                             )
@@ -126,9 +120,9 @@ class Bookie:
                 continue
             if not self.alive:
                 # crashed while the batch was in flight: never acked
-                for request in batch:
-                    if not request.future.done:
-                        request.future.set_exception(
+                for _, fut, _span in batch:
+                    if not fut.done:
+                        fut.set_exception(
                             BookkeeperError(f"bookie {self.name} crashed")
                         )
                 continue
@@ -140,19 +134,19 @@ class Bookie:
                 # whole synced journal write — each one's critical path
                 # carries the full fsync duration (shared-span model).
                 write_latency = self.sim.now - write_started
-                for request in batch:
-                    if request.span is not None:
-                        request.span.component("fsync", write_latency)
-            for request in batch:
-                entry = request.entry
-                ledger = self._ledgers.setdefault(entry.ledger_id, {})
+                for _, _fut, span in batch:
+                    if span is not None:
+                        span.component("fsync", write_latency)
+            ledgers = self._ledgers
+            for entry, fut, _span in batch:
+                ledger = ledgers.setdefault(entry.ledger_id, {})
                 ledger[entry.entry_id] = entry
                 if not self.journal_sync:
                     wire = entry.payload.size + ENTRY_OVERHEAD
                     self._unsynced.append((entry.ledger_id, entry.entry_id, wire))
                     self._unsynced_bytes += wire
-                if not request.future.done:
-                    request.future.set_result(entry.entry_id)
+                if not fut.done:
+                    fut.set_result(entry.entry_id)
             if not self.journal_sync:
                 # entries already written back can no longer be lost;
                 # keep only the (possibly still dirty) tail
@@ -218,9 +212,9 @@ class Bookie:
         """
         self.alive = False
         pending, self._journal_queue = self._journal_queue, []
-        for request in pending:
-            if not request.future.done:
-                request.future.set_exception(
+        for _, fut, _span in pending:
+            if not fut.done:
+                fut.set_exception(
                     BookkeeperError(f"bookie {self.name} crashed")
                 )
         if lose_unsynced:

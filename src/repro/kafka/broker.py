@@ -212,7 +212,7 @@ class KafkaCluster:
                     span.annotate("leader-down")
                     span.finish()
                 raise KafkaError(f"leader {leader.name} is down")
-            yield self.sim.timeout(leader.request_processing_time)
+            yield leader.request_processing_time
             append_span = None
             if span is not None:
                 append_span = span.child(
@@ -301,7 +301,7 @@ class KafkaCluster:
             yield self.network.transfer(client_host, leader.name, RPC_OVERHEAD)
             if not leader.alive:
                 raise KafkaError(f"leader {leader.name} is down")
-            yield self.sim.timeout(leader.request_processing_time)
+            yield leader.request_processing_time
             log = leader.logs[tp]
             if offset >= log.leo:
                 wait = leader.wait_for_data(tp, offset)

@@ -13,6 +13,7 @@ append is fsync'd before acknowledging — the Fig. 5 "flush" variant.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -39,7 +40,7 @@ APPEND_BANDWIDTH = 100e6
 FSYNC_BARRIER_TIME = 1.5e-3
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecordBatch:
     base_offset: int
     record_count: int
@@ -71,6 +72,8 @@ class PartitionLog:
         self.flush_every_message = flush_every_message
         self._append_path = FifoServer(sim, name=f"append:{name}")
         self.batches: List[LogRecordBatch] = []
+        #: parallel list of base offsets (bisect index for reads)
+        self._base_offsets: List[int] = []
         #: log end offset (next record offset)
         self.leo = 0
         self.size_bytes = 0
@@ -99,6 +102,7 @@ class PartitionLog:
             sequence=sequence,
         )
         self.batches.append(batch)
+        self._base_offsets.append(batch.base_offset)
         self.leo += record_count
         wire = batch_payload.size + BATCH_OVERHEAD
         self.size_bytes += wire
@@ -129,9 +133,19 @@ class PartitionLog:
         return self.sim.process(run())
 
     def read(self, offset: int, max_batches: int = 64) -> List[LogRecordBatch]:
-        """Record batches starting at ``offset`` (consumer fetch)."""
+        """Record batches starting at ``offset`` (consumer fetch).
+
+        Batches are offset-sorted, so the start position is found with a
+        bisect instead of scanning the log from its beginning — tail
+        fetches stay O(result) regardless of log length.
+        """
+        batches = self.batches
+        index = bisect_right(self._base_offsets, offset) - 1
+        if index < 0:
+            index = 0
         result = []
-        for batch in self.batches:
+        for i in range(index, len(batches)):
+            batch = batches[i]
             if batch.last_offset < offset:
                 continue
             result.append(batch)
@@ -151,6 +165,7 @@ class PartitionLog:
             lost_bytes += batch.payload.size + BATCH_OVERHEAD
             lost += 1
         if lost:
+            del self._base_offsets[len(self.batches):]
             self.leo = self.batches[-1].last_offset + 1 if self.batches else 0
             self.size_bytes = max(0, self.size_bytes - lost_bytes)
             # the producer-dedup table re-derives from the surviving log:
@@ -167,4 +182,5 @@ class PartitionLog:
         removed = len(self.batches) - len(kept)
         if removed:
             self.batches = kept
+            self._base_offsets = [b.base_offset for b in kept]
             self.leo = kept[-1].last_offset + 1 if kept else 0

@@ -45,7 +45,7 @@ class KafkaProducerConfig:
     record_overhead: int = 12
 
 
-@dataclass
+@dataclass(slots=True)
 class _Record:
     payload_size: int
     count: int
@@ -55,7 +55,7 @@ class _Record:
     span: Optional[object] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _PartitionBatch:
     records: List[_Record] = field(default_factory=list)
     size: int = 0
@@ -120,7 +120,7 @@ class KafkaProducer:
             return self._send_split(size, key, count, wire)
         fut = self.sim.future()
         self._unacked += 1
-        fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
+        fut.add_callback(self._on_acked)
         partition = self._partition_for(key)
         span = None
         if self.tracer is not None:
@@ -167,8 +167,11 @@ class KafkaProducer:
                 self.send(per_event * share, key, share).add_callback(on_piece)
         return done
 
+    def _on_acked(self, fut: SimFuture) -> None:
+        self._unacked -= 1
+
     def _linger_timer(self, partition: int, batch: _PartitionBatch):
-        yield self.sim.timeout(self.config.linger)
+        yield self.config.linger
         if not batch.closed:
             self._close_batch(partition, batch)
 
@@ -243,7 +246,7 @@ class KafkaProducer:
                     batch.span.annotate("produce-error", error=type(exc).__name__)
                     batch.span.finish()
                 for record in batch.records:
-                    if not record.future.done:
+                    if not record.future._done:
                         record.future.set_exception(exc)
                 return
             self.records_sent += records
@@ -256,7 +259,7 @@ class KafkaProducer:
                     if record.span is not None:
                         record.span.absorb(batch.span)
             for record in batch.records:
-                if not record.future.done:
+                if not record.future._done:
                     record.future.set_result(partition)
         finally:
             self._in_flight[broker] -= 1
@@ -272,6 +275,6 @@ class KafkaProducer:
                 if not batch.closed:
                     self._close_batch(partition, batch)
             while self._unacked > 0:
-                yield self.sim.timeout(0.001)
+                yield 0.001
 
         return self.sim.process(run())

@@ -67,7 +67,7 @@ class WriterConfig:
     max_retries: int = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingEvent:
     payload: Payload
     event_count: int
@@ -81,7 +81,7 @@ class _PendingEvent:
     span: Optional[object] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _Batch:
     events: List[_PendingEvent] = field(default_factory=list)
     size: int = 0
@@ -135,7 +135,7 @@ class _SegmentWriter:
                 # Keep the batch open for the adaptive window: the server is
                 # already collecting it; we model the window client-side.
                 if batch.size < config.max_batch_size:
-                    yield self.sim.timeout(self._batch_window())
+                    yield self._batch_window()
                     self._fill(batch)
                 # Respect the connection's outstanding-batch window.
                 while self.outstanding >= config.max_outstanding and not self.sealed:
@@ -253,11 +253,12 @@ class _SegmentWriter:
             for event in batch.events:
                 if event.span is not None:
                     event.span.absorb(batch.span)
+        # Batch-level ack fan-out: one shared (read-only) result dict for
+        # the whole batch instead of an allocation per event.
+        ack = {"segment": self.location.segment_number, "duplicate": result.duplicate}
         for event in batch.events:
-            if not event.future.done:
-                event.future.set_result(
-                    {"segment": self.location.segment_number, "duplicate": result.duplicate}
-                )
+            if not event.future._done:
+                event.future.set_result(ack)
 
     def drain_pending(self) -> List[_PendingEvent]:
         """All not-yet-acknowledged events in original order (re-route)."""
@@ -299,6 +300,8 @@ class EventStreamWriter:
         self.writer_id = writer_id
         self._segment_writers: Dict[int, _SegmentWriter] = {}
         self._locations: List[SegmentLocation] = []
+        #: routing key -> covering location; cleared on every refresh
+        self._key_cache: Dict[str, SegmentLocation] = {}
         self._ready: Optional[SimFuture] = None
         self._cpu = FifoServer(sim, name=f"cpu:{writer_id}")
         self._round_robin = 0
@@ -319,6 +322,7 @@ class EventStreamWriter:
     def _refresh_segments(self):
         locations = yield self.controller.get_active_segments(self.scope, self.stream)
         self._locations = sorted(locations, key=lambda l: l.key_range.low)
+        self._key_cache.clear()
         for location in self._locations:
             if location.segment_number not in self._segment_writers:
                 self._segment_writers[location.segment_number] = _SegmentWriter(
@@ -332,9 +336,13 @@ class EventStreamWriter:
             # No routing key: spread events round-robin (no order guarantee).
             self._round_robin = (self._round_robin + 1) % len(self._locations)
             return self._locations[self._round_robin]
+        cached = self._key_cache.get(routing_key)
+        if cached is not None:
+            return cached
         position = routing_key_position(routing_key)
         for location in self._locations:
             if location.key_range.contains(position):
+                self._key_cache[routing_key] = location
                 return location
         raise WriterError(f"no active segment covers position {position}")
 
@@ -407,7 +415,7 @@ class EventStreamWriter:
             payload, event_count, fut, self.sim.now, routing_key, span=span
         )
         self._unacked += 1
-        fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
+        fut.add_callback(self._on_acked)
 
         def run():
             yield self._ensure_ready()
@@ -422,12 +430,15 @@ class EventStreamWriter:
         self.sim.process(run())
         return fut
 
+    def _on_acked(self, fut: SimFuture) -> None:
+        self._unacked -= 1
+
     def flush(self) -> SimFuture:
         """Resolves when every previously written event is acknowledged."""
 
         def run():
             while self._unacked > 0:
-                yield self.sim.timeout(0.001)
+                yield 0.001
 
         return self.sim.process(run())
 

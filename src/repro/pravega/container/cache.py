@@ -35,6 +35,19 @@ __all__ = ["CacheSpec", "BlockCache", "CacheFullError", "NO_ADDRESS"]
 NO_ADDRESS = -1
 
 
+def _add_fragment(fragments: List[Payload], piece: Payload) -> None:
+    """Append ``piece`` to a block's fragment list, coalescing synthetic
+    runs: two adjacent content-free fragments are indistinguishable from
+    one of the combined size, so benchmark blocks hold a single fragment
+    instead of one per append (which made reconstruction O(appends))."""
+    if fragments:
+        last = fragments[-1]
+        if last.content is None and piece.content is None:
+            fragments[-1] = Payload._trusted(last.size + piece.size, None)
+            return
+    fragments.append(piece)
+
+
 class CacheFullError(ReproError):
     """No free blocks remain; the caller should evict and retry."""
 
@@ -191,7 +204,9 @@ class BlockCache:
             buffer, block = self._allocate_block()
             take = min(block_size, payload.size - offset)
             if take > 0:
-                buffer.fragments[block].append(payload.slice(offset, offset + take))
+                _add_fragment(
+                    buffer.fragments[block], payload.slice(offset, offset + take)
+                )
             buffer.length[block] = take
             buffer.prev[block] = address
             address = self._join(buffer, block)
@@ -212,14 +227,17 @@ class BlockCache:
         space = block_size - buffer.length[block]
         if space > 0 and payload.size > 0:
             take = min(space, payload.size)
-            buffer.fragments[block].append(payload.slice(0, take))
+            _add_fragment(buffer.fragments[block], payload.slice(0, take))
             buffer.length[block] += take
             offset = take
         current = address
         while offset < payload.size:
             new_buffer, new_block = self._allocate_block()
             take = min(block_size, payload.size - offset)
-            new_buffer.fragments[new_block].append(payload.slice(offset, offset + take))
+            _add_fragment(
+                new_buffer.fragments[new_block],
+                payload.slice(offset, offset + take),
+            )
             new_buffer.length[new_block] = take
             new_buffer.prev[new_block] = current
             current = self._join(new_buffer, new_block)
@@ -232,8 +250,46 @@ class BlockCache:
         current = address
         while current != NO_ADDRESS:
             buffer, block = self._split(current)
-            pieces.append(Payload.concat(buffer.fragments[block]))
+            frags = buffer.fragments[block]
+            pieces.append(frags[0] if len(frags) == 1 else Payload.concat(frags))
             current = buffer.prev[block]
+        pieces.reverse()
+        return Payload.concat(pieces)
+
+    def read_range(self, address: int, start: int, end: int, length: int) -> Payload:
+        """Bytes ``[start, end)`` of the entry at ``address``, whose total
+        size is ``length``.
+
+        The chain is addressed from its *last* block, so the walk visits
+        only the suffix overlapping the range — a tail read of an entry
+        touches O(range / block_size) blocks instead of reconstructing
+        the whole entry as :meth:`get` + slice would.
+        """
+        if not (0 <= start <= end <= length):
+            raise ReproError(f"bad range [{start}, {end}) of {length} bytes")
+        if start == end:
+            return Payload.empty()
+        pieces: List[Payload] = []
+        current = address
+        block_end = length
+        while current != NO_ADDRESS and block_end > start:
+            buffer, block = self._split(current)
+            blen = buffer.length[block]
+            block_start = block_end - blen
+            if blen and block_start < end:
+                lo = start - block_start if start > block_start else 0
+                hi = blen if end >= block_end else end - block_start
+                frags = buffer.fragments[block]
+                if len(frags) == 1:
+                    frag = frags[0]
+                    piece = frag if lo == 0 and hi == blen else frag.slice(lo, hi)
+                else:
+                    piece = Payload.concat(frags).slice(lo, hi)
+                pieces.append(piece)
+            current = buffer.prev[block]
+            block_end = block_start
+        if len(pieces) == 1:
+            return pieces[0]
         pieces.reverse()
         return Payload.concat(pieces)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import (
@@ -175,6 +176,12 @@ class SegmentContainer:
         self._tail_waiters: Dict[str, List[Tuple[int, SimFuture]]] = {}
         self._event_rates: Dict[str, RateMeter] = {}
         self._byte_rates: Dict[str, RateMeter] = {}
+        #: per-segment (event meter, byte meter) pairs plus prebound hot
+        #: counters — the per-append path skips the registry lookups
+        self._rate_pairs: Dict[str, Tuple[RateMeter, RateMeter]] = {}
+        self._append_count = self.metrics.counter("append.count")
+        self._append_bytes = self.metrics.counter("append.bytes")
+        self._read_cache_bytes = self.metrics.counter("read.cache_bytes")
         self._ops_since_checkpoint = 0
         self._last_checkpoint_sequence = -1
         self._checkpoint_running = False
@@ -392,6 +399,34 @@ class SegmentContainer:
                 done.set_result(AppendResult(offset=-1, duplicate=True))
                 return done
 
+        # Hot path: admission can proceed immediately (throttle gate open,
+        # cache healthy) and tracing is off — admit synchronously and chain
+        # the ack off the WAL future, skipping the per-append process.
+        if (
+            span is None
+            and not self.storage_writer.throttled
+            and not self.cache.overflowing
+        ):
+            op = AppendOperation(
+                segment,
+                payload=payload,
+                writer_id=writer_id,
+                event_number=event_number,
+                event_count=event_count,
+            )
+            op.offset = state.length
+            state.length += payload.size
+            if writer_id and event_number >= 0:
+                state.attributes[writer_id] = event_number
+            self._track_rates(segment, event_count, payload.size)
+            self._count_op()
+            self._unapplied_bytes += payload.size
+            result = SimFuture(self.sim)
+            self.durable_log.add(op).add_callback(
+                partial(self._append_acked, result, op)
+            )
+            return result
+
         def run():
             append_span = None
             if span is not None:
@@ -450,15 +485,30 @@ class SegmentContainer:
 
         return self.sim.process(run())
 
+    def _append_acked(
+        self, result: SimFuture, op: AppendOperation, wal: SimFuture
+    ) -> None:
+        """Resolve a fast-path append once its WAL write settles."""
+        exc = wal.exception
+        if exc is not None:
+            self._unapplied_bytes -= op.payload.size
+            self.storage_writer.release_check()
+            result.set_exception(exc)
+        else:
+            result.set_result(AppendResult(offset=op.offset))
+
     def _track_rates(self, segment: str, events: int, nbytes: int) -> None:
         now = self.sim.now
-        if segment not in self._event_rates:
-            self._event_rates[segment] = RateMeter(half_life=2.0)
-            self._byte_rates[segment] = RateMeter(half_life=2.0)
-        self._event_rates[segment].record(now, events)
-        self._byte_rates[segment].record(now, nbytes)
-        self.metrics.counter("append.count").add()
-        self.metrics.counter("append.bytes").add(nbytes)
+        pair = self._rate_pairs.get(segment)
+        if pair is None:
+            pair = (RateMeter(half_life=2.0), RateMeter(half_life=2.0))
+            self._rate_pairs[segment] = pair
+            self._event_rates[segment] = pair[0]
+            self._byte_rates[segment] = pair[1]
+        pair[0].record(now, events)
+        pair[1].record(now, nbytes)
+        self._append_count.add()
+        self._append_bytes.add(nbytes)
 
     def load_report(self) -> Dict[str, Tuple[float, float]]:
         """Per-segment (events/s, bytes/s) for the auto-scale feedback loop."""
@@ -667,6 +717,20 @@ class SegmentContainer:
                 StreamError(f"read below truncation point of {segment}")
             )
 
+        # Hot path: requested data is already applied and cache-resident
+        # and tracing is off — serve synchronously, skipping the
+        # per-request reader process.
+        if span is None:
+            available = state.applied_length - offset
+            if available > 0:
+                want = min(max_bytes, available)
+                cached = self._read_index(segment).read_cached(offset, want)
+                if cached is not None and cached.size > 0:
+                    self._read_cache_bytes.add(cached.size)
+                    done = self.sim.future()
+                    done.set_result(ReadResult(cached, offset))
+                    return done
+
         def run():
             read_span = None
             if span is not None:
@@ -703,7 +767,7 @@ class SegmentContainer:
                     index = self._read_index(segment)
                     cached = index.read_cached(offset, want)
                     if cached is not None and cached.size > 0:
-                        self.metrics.counter("read.cache_bytes").add(cached.size)
+                        self._read_cache_bytes.add(cached.size)
                         done("tail" if waited else "cache")
                         return ReadResult(cached, offset)
                     # Cache miss: fetch the chunk covering `offset` from LTS and

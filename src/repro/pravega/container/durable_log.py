@@ -76,12 +76,6 @@ class _LedgerInfo:
     size: int = 0
 
 
-@dataclass
-class _QueuedOperation:
-    operation: Operation
-    future: SimFuture
-
-
 class DurableLog:
     """The per-container WAL pipeline."""
 
@@ -103,7 +97,8 @@ class DurableLog:
         self.apply_callback = apply_callback or (lambda op: None)
         #: fault-injection hook (repro.faults.FaultEngine); unwired by default
         self.faults = faults
-        self._queue: deque[_QueuedOperation] = deque()
+        #: queued (operation, future) pairs awaiting frame assembly
+        self._queue: deque[tuple[Operation, SimFuture]] = deque()
         self._next_sequence = 0
         self._writer_running = False
         self._current_ledger: Optional[LedgerHandle] = None
@@ -167,9 +162,9 @@ class DurableLog:
             f"container {self.container_id} durable log is offline"
         )
         pending, self._queue = list(self._queue), deque()
-        for queued in pending:
-            if not queued.future.done:
-                queued.future.set_exception(self._failure)
+        for _, fut in pending:
+            if not fut.done:
+                fut.set_exception(self._failure)
         if self._current_ledger is not None:
             self._current_ledger.close()
         if failure is not None:
@@ -192,7 +187,7 @@ class DurableLog:
             return fut
         operation.sequence_number = self._next_sequence
         self._next_sequence += 1
-        self._queue.append(_QueuedOperation(operation, fut))
+        self._queue.append((operation, fut))
         if not self._writer_running:
             self._writer_running = True
             self.sim.process(self._writer_loop())
@@ -202,20 +197,20 @@ class DurableLog:
         config = self.config
         while self._queue and self._online:
             frame = DataFrame()
-            batch: List[_QueuedOperation] = []
+            batch: List[tuple[Operation, SimFuture]] = []
             size = FRAME_HEADER_SIZE
 
             def take_available() -> int:
                 nonlocal size
                 taken = 0
                 while self._queue:
-                    queued = self._queue[0]
-                    op_size = queued.operation.serialized_size
+                    op, fut = self._queue[0]
+                    op_size = op.serialized_size
                     if batch and size + op_size > config.max_frame_size:
                         break
                     self._queue.popleft()
-                    batch.append(queued)
-                    frame.operations.append(queued.operation)
+                    batch.append((op, fut))
+                    frame.operations.append(op)
                     size += op_size
                     taken += 1
                 return taken
@@ -226,12 +221,14 @@ class DurableLog:
                 delay = self._recent_latency * (1.0 - self._recent_fill)
                 delay = min(max(delay, 0.0), config.max_batch_delay)
                 if delay > 0:
-                    yield self.sim.timeout(delay)
+                    yield delay
                     take_available()
 
-            frame.first_sequence = batch[0].operation.sequence_number
-            frame.last_sequence = batch[-1].operation.sequence_number
-            frame_size = frame.serialized_size
+            frame.first_sequence = batch[0][0].sequence_number
+            frame.last_sequence = batch[-1][0].sequence_number
+            # ``size`` already tracks the serialized frame size — avoid
+            # re-summing every operation via DataFrame.serialized_size.
+            frame_size = size
 
             # Ledger rollover.
             ledger_info = self._ledgers[-1]
@@ -242,9 +239,9 @@ class DurableLog:
                     # Rollover needs zookeeper (ledger-list persist) and
                     # Bookkeeper; losing either mid-roll is fatal for the
                     # container, never a hang for queued operations.
-                    for queued in batch:
-                        if not queued.future.done:
-                            queued.future.set_exception(exc)
+                    for _, fut in batch:
+                        if not fut.done:
+                            fut.set_exception(exc)
                     self.shutdown(exc)
                     return
                 ledger_info = self._ledgers[-1]
@@ -253,8 +250,8 @@ class DurableLog:
             # One frame span per WAL entry, parented on the first traced
             # operation; absorbed into every batched op (shared-span model).
             frame_span = None
-            for queued in batch:
-                op_span = getattr(queued.operation, "trace_span", None)
+            for op, _ in batch:
+                op_span = op.trace_span
                 if op_span is not None:
                     frame_span = op_span.child(
                         "durablelog.frame", bytes=frame_size, ops=len(batch)
@@ -269,9 +266,9 @@ class DurableLog:
                     frame_span.annotate("wal-fatal", error=type(exc).__name__)
                     frame_span.finish()
                 # Fenced or quorum lost: the container must shut down (§4.4).
-                for queued in batch:
-                    if not queued.future.done:
-                        queued.future.set_exception(exc)
+                for _, fut in batch:
+                    if not fut.done:
+                        fut.set_exception(exc)
                 self.shutdown(exc)
                 return
             latency = self.sim.now - started
@@ -286,18 +283,18 @@ class DurableLog:
 
             if frame_span is not None:
                 frame_span.finish()
-                for queued in batch:
-                    op_span = getattr(queued.operation, "trace_span", None)
-                    if op_span is not None:
-                        op_span.absorb(frame_span)
+                for op, _ in batch:
+                    if op.trace_span is not None:
+                        op.trace_span.absorb(frame_span)
 
             # Accept the frame: apply operations to the container state.
-            for queued in batch:
-                self.apply_callback(queued.operation)
+            apply_callback = self.apply_callback
+            for op, fut in batch:
+                apply_callback(op)
                 self.operations_applied += 1
-                self.last_applied_sequence = queued.operation.sequence_number
-                if not queued.future.done:
-                    queued.future.set_result(queued.operation)
+                self.last_applied_sequence = op.sequence_number
+                if not fut.done:
+                    fut.set_result(op)
         self._writer_running = False
 
     # ------------------------------------------------------------------

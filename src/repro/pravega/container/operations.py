@@ -4,12 +4,17 @@
 into an operation and queued up for processing.  There are multiple types
 of operations, each indicating a different modification to the segment."
 All operations of a container are multiplexed into its single WAL log.
+
+These are plain ``__slots__`` classes rather than dataclasses: an
+:class:`AppendOperation` is allocated for every admitted append, so the
+per-instance dict and ``__post_init__`` dispatch are measurable overhead
+on the message path.  ``op_type`` is a class attribute (one per subclass,
+never per instance).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.common.payload import Payload
@@ -43,21 +48,31 @@ class OperationType(enum.Enum):
     CHECKPOINT = "checkpoint"
 
 
-@dataclass
 class Operation:
     """Base class; ``sequence_number`` is assigned by the durable log."""
 
-    segment: str
-    sequence_number: int = field(default=-1, init=False)
+    __slots__ = ("segment", "sequence_number", "trace_span")
 
-    op_type: OperationType = field(default=None, init=False)  # type: ignore[assignment]
+    #: overridden by each subclass; never assigned per instance
+    op_type: OperationType = None  # type: ignore[assignment]
+
+    def __init__(self, segment: str) -> None:
+        self.segment = segment
+        self.sequence_number = -1
+        #: trace span attached at admission (repro.obs), None when untraced
+        self.trace_span: Optional[object] = None
 
     @property
     def serialized_size(self) -> int:
         return OP_HEADER_SIZE
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(segment={self.segment!r}, "
+            f"seq={self.sequence_number})"
+        )
 
-@dataclass
+
 class AppendOperation(Operation):
     """An append of ``payload`` bytes to a segment.
 
@@ -66,61 +81,78 @@ class AppendOperation(Operation):
     (§3.2), so duplicates can be detected after reconnects.
     """
 
-    payload: Payload = field(default_factory=Payload.empty)
-    writer_id: str = ""
-    event_number: int = -1
-    event_count: int = 1
-    #: assigned by the container at admission: segment offset of this append
-    offset: int = field(default=-1, init=False)
+    __slots__ = ("payload", "writer_id", "event_number", "event_count", "offset")
 
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.APPEND
+    op_type = OperationType.APPEND
+
+    def __init__(
+        self,
+        segment: str,
+        payload: Optional[Payload] = None,
+        writer_id: str = "",
+        event_number: int = -1,
+        event_count: int = 1,
+    ) -> None:
+        self.segment = segment
+        self.sequence_number = -1
+        self.trace_span = None
+        self.payload = payload if payload is not None else Payload.empty()
+        self.writer_id = writer_id
+        self.event_number = event_number
+        self.event_count = event_count
+        #: assigned by the container at admission: segment offset of this append
+        self.offset = -1
 
     @property
     def serialized_size(self) -> int:
         return OP_HEADER_SIZE + self.payload.size
 
 
-@dataclass
 class CreateSegmentOperation(Operation):
-    #: non-empty for table segments (key-value API, §2.2)
-    is_table: bool = False
+    __slots__ = ("is_table",)
 
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.CREATE
+    op_type = OperationType.CREATE
+
+    def __init__(self, segment: str, is_table: bool = False) -> None:
+        super().__init__(segment)
+        #: non-empty for table segments (key-value API, §2.2)
+        self.is_table = is_table
 
 
-@dataclass
 class SealSegmentOperation(Operation):
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.SEAL
+    __slots__ = ()
+
+    op_type = OperationType.SEAL
 
 
-@dataclass
 class TruncateSegmentOperation(Operation):
-    offset: int = 0
+    __slots__ = ("offset",)
 
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.TRUNCATE
+    op_type = OperationType.TRUNCATE
+
+    def __init__(self, segment: str, offset: int = 0) -> None:
+        super().__init__(segment)
+        self.offset = offset
 
 
-@dataclass
 class MergeSegmentOperation(Operation):
     """Merge ``source`` (sealed) into ``segment`` at its current length."""
 
-    source: str = ""
+    __slots__ = ("source",)
 
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.MERGE
+    op_type = OperationType.MERGE
+
+    def __init__(self, segment: str, source: str = "") -> None:
+        super().__init__(segment)
+        self.source = source
 
 
-@dataclass
 class DeleteSegmentOperation(Operation):
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.DELETE
+    __slots__ = ()
+
+    op_type = OperationType.DELETE
 
 
-@dataclass
 class TableUpdateOperation(Operation):
     """A serialized batch of key-value table updates (§4.3).
 
@@ -128,10 +160,13 @@ class TableUpdateOperation(Operation):
     means removal.  All updates in one operation commit atomically.
     """
 
-    updates: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("updates",)
 
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.TABLE_UPDATE
+    op_type = OperationType.TABLE_UPDATE
+
+    def __init__(self, segment: str, updates: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(segment)
+        self.updates = updates if updates is not None else {}
 
     @property
     def serialized_size(self) -> int:
@@ -147,18 +182,25 @@ class TableUpdateOperation(Operation):
         return OP_HEADER_SIZE + payload
 
 
-@dataclass
 class MetadataCheckpointOperation(Operation):
     """A snapshot of the container metadata (§4.4).
 
     Recovery reads the last checkpoint and replays subsequent operations.
     """
 
-    snapshot: Optional[Any] = None
-    snapshot_size: int = 0
+    __slots__ = ("snapshot", "snapshot_size")
 
-    def __post_init__(self) -> None:
-        self.op_type = OperationType.CHECKPOINT
+    op_type = OperationType.CHECKPOINT
+
+    def __init__(
+        self,
+        segment: str,
+        snapshot: Optional[Any] = None,
+        snapshot_size: int = 0,
+    ) -> None:
+        super().__init__(segment)
+        self.snapshot = snapshot
+        self.snapshot_size = snapshot_size
 
     @property
     def serialized_size(self) -> int:

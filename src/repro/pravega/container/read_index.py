@@ -98,6 +98,7 @@ class SegmentReadIndex:
     # Lookup
     # ------------------------------------------------------------------
     def _floor_covering(self, offset: int) -> Optional[IndexEntry]:
+        self.manager.avl_probes += 1
         found = self._entries.floor(offset)
         if found is None:
             return None
@@ -106,25 +107,41 @@ class SegmentReadIndex:
 
     def read_cached(self, offset: int, max_bytes: int) -> Optional[Payload]:
         """Contiguous cached data at ``offset`` (up to ``max_bytes``),
-        or None if the first byte is not cached."""
-        entry = self._floor_covering(offset)
-        if entry is None:
-            return None
+        or None if the first byte is not cached.
+
+        Tail reads — by far the common case for streaming consumers —
+        resolve against the O(1) tail entry without touching the AVL
+        tree; ``CacheManager.tail_read_hits`` / ``avl_probes`` account
+        for which path served each lookup.
+        """
+        tail = self._tail_entry
+        if tail is not None and tail.start_offset <= offset < tail.end_offset:
+            entry: Optional[IndexEntry] = tail
+            self.manager.tail_read_hits += 1
+        else:
+            entry = self._floor_covering(offset)
+            if entry is None:
+                return None
         pieces: List[Payload] = []
         taken = 0
         cursor = offset
         while entry is not None and taken < max_bytes:
             entry.generation = self.manager.current_generation
-            data = self.cache.get(entry.cache_address)
             start = cursor - entry.start_offset
             end = min(entry.length, start + (max_bytes - taken))
-            pieces.append(data.slice(start, end))
+            pieces.append(
+                self.cache.read_range(entry.cache_address, start, end, entry.length)
+            )
             taken += end - start
             cursor = entry.start_offset + end
             if end < entry.length:
                 break
+            if entry is self._tail_entry:
+                break  # nothing follows the tail entry
             nxt = self._entries.ceiling(cursor)
             entry = nxt[1] if nxt is not None and nxt[1].start_offset == cursor else None
+        if len(pieces) == 1:
+            return pieces[0]
         return Payload.concat(pieces)
 
     def cached_range_end(self, offset: int) -> Optional[int]:
@@ -190,6 +207,10 @@ class CacheManager:
         self.cache = cache
         self.target_utilization = target_utilization
         self.current_generation = 0
+        #: lookups served by the O(1) tail entry (no tree probe)
+        self.tail_read_hits = 0
+        #: lookups that went through an AVL floor probe
+        self.avl_probes = 0
         self._indexes: List[SegmentReadIndex] = []
         #: callback answering "flushed-to-LTS offset" per segment name
         self.flushed_offset_provider = lambda segment: 0

@@ -137,7 +137,6 @@ class SegmentStore:
         span=None,
     ) -> SimFuture:
         """Request transfer -> processing -> handler -> reply transfer."""
-        result = self.sim.future()
 
         def run():
             try:
@@ -148,7 +147,7 @@ class SegmentStore:
                     span.component("network", self.sim.now - t_request)
                 if not self.alive:
                     raise ContainerOfflineError(f"store {self.name} is down")
-                yield self.sim.timeout(self.config.request_processing_time)
+                yield self.config.request_processing_time
                 value = yield handler()
                 if span is not None:
                     t_reply = self.sim.now
@@ -160,13 +159,10 @@ class SegmentStore:
                 if span is not None:
                     span.finish()
 
-        proc = self.sim.process(run())
-        proc.add_callback(
-            lambda p: result.set_exception(p.exception)
-            if p.exception is not None
-            else result.set_result(p._value)
-        )
-        return result
+        # A Process is itself a SimFuture resolving with run()'s return
+        # value (or exception) — hand it back directly rather than
+        # bridging through a second future + callback per RPC.
+        return self.sim.process(run())
 
     def rpc_append(
         self,
@@ -206,8 +202,6 @@ class SegmentStore:
             fut.add_callback(note_size)
             return fut
 
-        result = self.sim.future()
-
         def run():
             try:
                 if span is not None:
@@ -217,7 +211,7 @@ class SegmentStore:
                     span.component("network", self.sim.now - t_request)
                 if not self.alive:
                     raise ContainerOfflineError(f"store {self.name} is down")
-                yield self.sim.timeout(self.config.request_processing_time)
+                yield self.config.request_processing_time
                 value = yield handler()
                 if span is not None:
                     t_reply = self.sim.now
@@ -229,13 +223,7 @@ class SegmentStore:
                 if span is not None:
                     span.finish()
 
-        proc = self.sim.process(run())
-        proc.add_callback(
-            lambda p: result.set_exception(p.exception)
-            if p.exception is not None
-            else result.set_result(p._value)
-        )
-        return result
+        return self.sim.process(run())
 
     def rpc_get_info(self, client_host: str, segment: str) -> SimFuture:
         def handler():

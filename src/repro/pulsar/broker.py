@@ -22,6 +22,7 @@ Behavioural properties taken from the paper's evaluation:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -59,7 +60,7 @@ class PulsarBrokerConfig:
     request_processing_time: float = 30e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class _LedgerRecord:
     handle: LedgerHandle
     first_offset: int
@@ -70,7 +71,7 @@ class _LedgerRecord:
     deleted_from_bk: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _EntryIndex:
     """Partition offset -> (ledger record, entry size, record count)."""
 
@@ -88,6 +89,8 @@ class ManagedLedger:
         self.name = name
         self.ledgers: List[_LedgerRecord] = []
         self.entries: List[_EntryIndex] = []
+        #: parallel list of entry offsets (bisect index for reads)
+        self.entry_offsets: List[int] = []
         #: next byte offset within the partition
         self.length = 0
         self.records = 0
@@ -200,7 +203,7 @@ class PulsarBroker:
                     span.annotate("broker-down")
                     span.finish()
                 raise BrokerCrashedError(self.name)
-            yield self.sim.timeout(self.config.request_processing_time)
+            yield self.config.request_processing_time
             yield self.cpu.submit(
                 self.config.per_entry_cpu + payload.size / self.config.cpu_bandwidth
             )
@@ -213,6 +216,7 @@ class PulsarBroker:
             managed.entries.append(
                 _EntryIndex(offset, payload.size, record_count, ledger)
             )
+            managed.entry_offsets.append(offset)
             # Track replication memory: until all write-quorum replicas ack,
             # the entry stays in the broker's pending buffer.
             self.replication_buffer += payload.size
@@ -312,7 +316,7 @@ class PulsarBroker:
 
     def _dispatch_timer(self, partition: str):
         # Batched dispatch: deliveries go out on the dispatch interval.
-        yield self.sim.timeout(self.config.dispatch_interval)
+        yield self.config.dispatch_interval
         self._dispatcher_running[partition] = False
         managed = self.ledgers.get(partition)
         if managed is None:
@@ -355,7 +359,7 @@ class PulsarBroker:
             yield self.network.transfer(client_host, self.name, RPC_OVERHEAD)
             if not self.alive:
                 raise BrokerCrashedError(self.name)
-            yield self.sim.timeout(self.config.request_processing_time)
+            yield self.config.request_processing_time
             managed = self.ledgers[partition]
             if offset >= managed.length:
                 yield self.wait_for_data(partition, offset)
@@ -363,7 +367,14 @@ class PulsarBroker:
             taken = 0
             records = 0
             fetched_ledgers = set()
-            for entry in managed.entries:
+            entries = managed.entries
+            # Entries are offset-sorted: bisect to the start instead of
+            # scanning the partition's whole history per read.
+            start = bisect_right(managed.entry_offsets, offset) - 1
+            if start < 0:
+                start = 0
+            for i in range(start, len(entries)):
+                entry = entries[i]
                 if entry.offset + entry.size <= offset:
                     continue
                 if taken >= max_bytes:
@@ -388,7 +399,7 @@ class PulsarBroker:
 
         def run():
             while self._offload_read_busy:
-                yield self.sim.timeout(0.001)
+                yield 0.001
             self._offload_read_busy = True
             try:
                 yield self.lts.read_chunk(ledger.lts_object)

@@ -38,7 +38,7 @@ class PulsarProducerConfig:
     cpu_bandwidth: float = 2e9
 
 
-@dataclass
+@dataclass(slots=True)
 class _Record:
     size: int
     count: int
@@ -47,7 +47,7 @@ class _Record:
     span: Optional[object] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _OpenBatch:
     records: List[_Record] = field(default_factory=list)
     size: int = 0
@@ -148,7 +148,7 @@ class PulsarProducer:
             return done
         fut = self.sim.future()
         self._unacked += 1
-        fut.add_callback(lambda f: setattr(self, "_unacked", self._unacked - 1))
+        fut.add_callback(self._on_acked)
         partition = self._partition_for(key)
         span = None
         if self.tracer is not None:
@@ -172,8 +172,11 @@ class PulsarProducer:
             self._close_batch(partition, batch)
         return fut
 
+    def _on_acked(self, fut: SimFuture) -> None:
+        self._unacked -= 1
+
     def _batch_timer(self, partition: int, batch: _OpenBatch):
-        yield self.sim.timeout(self.config.batch_delay)
+        yield self.config.batch_delay
         if not batch.closed:
             self._close_batch(partition, batch)
 
@@ -220,7 +223,7 @@ class PulsarProducer:
             if publish_span is not None:
                 publish_span.annotate("publish-error", error=type(exc).__name__)
             for record in records:
-                if not record.future.done:
+                if not record.future._done:
                     record.future.set_exception(exc)
             return
         finally:
@@ -237,7 +240,7 @@ class PulsarProducer:
                 if record.span is not None:
                     record.span.absorb(publish_span)
         for record in records:
-            if not record.future.done:
+            if not record.future._done:
                 record.future.set_result(partition)
 
     def flush(self) -> SimFuture:
@@ -245,6 +248,6 @@ class PulsarProducer:
             for partition, batch in list(self._batches.items()):
                 self._close_batch(partition, batch)
             while self._unacked > 0:
-                yield self.sim.timeout(0.001)
+                yield 0.001
 
         return self.sim.process(run())

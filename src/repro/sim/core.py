@@ -104,18 +104,24 @@ class SimFuture:
             self._callbacks.append(fn)
 
     def set_result(self, value: Any = None) -> None:
-        self._resolve(value, None)
-
-    def set_exception(self, exc: BaseException) -> None:
-        if not isinstance(exc, BaseException):
-            raise SimulationError(f"not an exception: {exc!r}")
-        self._resolve(None, exc)
-
-    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        # set_result/set_exception share no helper: the extra call layer
+        # is measurable at ~100k resolutions per benchmark run.
         if self._done:
             raise SimulationError("future already resolved")
         self._done = True
         self._value = value
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for fn in callbacks:
+                fn(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"not an exception: {exc!r}")
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
         self._exception = exc
         callbacks = self._callbacks
         if callbacks is not None:
@@ -142,9 +148,14 @@ class Process(SimFuture):
     __slots__ = ("_gen", "_waiting_on", "_interrupts", "_timer_seq", "_timer_time")
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any]) -> None:
-        super().__init__(sim)
         if not hasattr(gen, "send"):
             raise SimulationError(f"process body must be a generator, got {gen!r}")
+        # Inlined SimFuture.__init__ (one process per request adds up).
+        self.sim = sim
+        self._done = False
+        self._value = None
+        self._exception = None
+        self._callbacks = None
         self._gen = gen
         self._waiting_on: Optional[SimFuture] = None
         self._interrupts: list[Interrupt] = []
@@ -153,8 +164,10 @@ class Process(SimFuture):
         self._timer_seq = -1
         self._timer_time = 0.0
         # Start the process at the current simulation time, but asynchronously
-        # so the creator finishes its own step first.
-        sim.call_soon(self._start)
+        # so the creator finishes its own step first (inlined call_soon).
+        seq = sim._seq
+        sim._seq = seq + 1
+        sim._micro.append(_ScheduledEvent(sim._now, seq, self._start, False))
 
     def _start(self) -> None:
         self._step(None, None)
@@ -223,7 +236,7 @@ class Process(SimFuture):
         if cls is float or cls is int:
             # Fast path: schedule the generator resume directly on the heap.
             # The only allocation is the heap tuple itself.  NOTE: this
-            # branch is mirrored inline in Simulator._run_unbounded — keep
+            # branch is mirrored inline in Simulator._run_core — keep
             # the two in sync.
             if target < 0:
                 raise SimulationError(
@@ -239,6 +252,21 @@ class Process(SimFuture):
             qlen = len(sim._queue)
             if qlen > sim._heap_peak:
                 sim._heap_peak = qlen
+            return
+        if isinstance(target, SimFuture):
+            # Inlined wait registration (the other hot yield kind); matches
+            # _wait_target + add_callback exactly, including the synchronous
+            # fire when the target is already resolved.
+            self._waiting_on = target
+            cb = self._on_wait_done
+            if target._done:
+                cb(target)
+            else:
+                cbs = target._callbacks
+                if cbs is None:
+                    target._callbacks = [cb]
+                else:
+                    cbs.append(cb)
             return
         self._wait_target(target)
 
@@ -267,6 +295,20 @@ class Process(SimFuture):
 
 def _noop() -> None:
     return None
+
+
+class _TimedFuture(SimFuture):
+    """A future whose *own heap entry* resolves it (delayed delivery).
+
+    ``Simulator.resolve_after`` pushes ``(when, seq, self)`` directly, so a
+    timed delivery (timeouts, network transfers) costs one allocation —
+    this object — instead of future + closure + :class:`_ScheduledEvent`.
+    Like the process fast-path timer, the entry is live iff ``_timer_seq``
+    matches the tuple's seq (these are never cancelled today, but the
+    staleness protocol keeps ``_compact`` / pruning uniform).
+    """
+
+    __slots__ = ("_timer_seq", "_payload")
 
 
 class _ScheduledEvent:
@@ -330,7 +372,7 @@ class Simulator:
 
     #: lazy-cancellation compaction kicks in once at least this many
     #: cancelled entries linger in the heap *and* they outnumber the live
-    #: ones (amortised O(1) per cancellation, bounded queue length).
+    #: ones 2:1 (amortised O(1) per cancellation, bounded queue length).
     COMPACT_MIN_CANCELLED = 256
 
     __slots__ = (
@@ -413,8 +455,8 @@ class Simulator:
         """Lazy cancellation of a scheduled event.
 
         The entry stays queued but is skipped when reached; once cancelled
-        heap entries outnumber live ones (past a fixed floor) the heap is
-        compacted, so queue length stays bounded by O(live events).
+        heap entries outnumber live ones 2:1 (past a fixed floor) the heap
+        is compacted, so queue length stays bounded by O(live events).
         """
         if event.cancelled:
             return
@@ -423,11 +465,17 @@ class Simulator:
             self._note_heap_cancel()
 
     def _note_heap_cancel(self) -> None:
-        self._heap_cancelled += 1
-        if (
-            self._heap_cancelled >= self.COMPACT_MIN_CANCELLED
-            and self._heap_cancelled * 2 >= len(self._queue)
-        ):
+        cancelled = self._heap_cancelled + 1
+        self._heap_cancelled = cancelled
+        # Compact when cancelled entries outnumber live ones 2:1 (and a
+        # fixed floor keeps tiny heaps compaction-free).  The threshold is
+        # proportional to the live-heap size: each O(queue) compaction is
+        # amortised over at least max(floor, 2 * live) cancellations, so a
+        # cancellation storm over a small live heap no longer re-compacts
+        # every ``floor`` cancels.
+        if cancelled >= self.COMPACT_MIN_CANCELLED and cancelled * 3 >= len(
+            self._queue
+        ) * 2:
             self._compact()
 
     def _compact(self) -> None:
@@ -454,8 +502,33 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> SimFuture:
         """A future that resolves with ``value`` after ``delay`` seconds."""
+        if delay > 0:
+            return self.resolve_after(delay, value)
+        # delay == 0 must stay a microtask for (time, seq) ordering;
+        # delay < 0 raises inside schedule.
         fut = SimFuture(self)
         self.schedule(delay, lambda: fut.set_result(value))
+        return fut
+
+    def resolve_after(self, delay: float, value: Any = None) -> SimFuture:
+        """A future resolving with ``value`` after ``delay`` (> 0) seconds.
+
+        Fast path for timed deliveries: the heap tuple points at the
+        future itself, so no callback closure or :class:`_ScheduledEvent`
+        is allocated.  Dispatch order is identical to
+        ``schedule(delay, fut.set_result)`` — same seq, same time.
+        """
+        if delay <= 0:
+            raise SimulationError(f"resolve_after needs a positive delay, got {delay}")
+        fut = _TimedFuture(self)
+        fut._payload = value
+        seq = self._seq
+        self._seq = seq + 1
+        fut._timer_seq = seq
+        heappush(self._queue, (self._now + delay, seq, fut))
+        qlen = len(self._queue)
+        if qlen > self._heap_peak:
+            self._heap_peak = qlen
         return fut
 
     def process(self, gen: Generator[Any, Any, Any]) -> Process:
@@ -551,26 +624,58 @@ class Simulator:
             self._now = when
             self._events_executed += 1
             obj._timer_seq = -1
-            obj._step(None, None)
+            if type(obj) is _TimedFuture:
+                obj.set_result(obj._payload)
+            else:
+                obj._step(None, None)
             return True
         return False
 
-    def _run_unbounded(self) -> None:
-        """``run()`` with no until/condition/max_events: the hot loop.
+    def _run_core(
+        self, stop_on: Optional[SimFuture], deadline: float = float("inf")
+    ) -> None:
+        """The hot dispatch loop: run until the queue drains, ``stop_on``
+        (when given) resolves, or ``self.now`` reaches ``deadline``.
 
         Identical dispatch rules to :meth:`step`, inlined with hoisted
-        locals — this loop executes every event of a typical benchmark.
+        locals — this loop executes every event of a typical benchmark,
+        both for ``run()`` (stop=None) and ``run_until_complete``.  The
+        deadline check runs *between* dispatches (an event scheduled past
+        the deadline may still execute and resolve ``stop_on``), matching
+        the historical step()-based timeout loop.
         """
         queue = self._queue
         micro = self._micro
         pop = heappop
         event_cls = _ScheduledEvent
+        timed_cls = _TimedFuture
         while True:
+            if stop_on is not None and stop_on._done:
+                return
+            if self._now >= deadline:
+                return
             if micro:
-                # Microtask ordering is the rare, cold case: delegate.
-                if not self.step():
-                    return
-                continue
+                # Inlined microtask dispatch (mirrors step() — keep the
+                # two in sync): drop dead microtask heads, then run the
+                # microtask unless a heap event precedes it in (time, seq).
+                # The heap head is *not* pruned first: a dead head that
+                # wins the comparison routes control to the heap branch,
+                # which skips it and loops back here — ordering stays
+                # exact without an eager prune pass per microtask.
+                while micro[0].cancelled:
+                    micro.popleft()
+                    self._cancellations_skipped += 1
+                    if not micro:
+                        break
+                if micro:
+                    mev = micro[0]
+                    if not queue or queue[0][0] > self._now or queue[0][1] > mev.seq:
+                        micro.popleft()
+                        self._microtasks_executed += 1
+                        mev.callback()
+                        continue
+                else:
+                    continue
             if not queue:
                 return
             when, seq, obj = pop(queue)
@@ -596,6 +701,9 @@ class Simulator:
             self._now = when
             self._events_executed += 1
             obj._timer_seq = -1
+            if type(obj) is timed_cls:
+                obj.set_result(obj._payload)
+                continue
             # Inlined Process._step for the timer-resume case (the single
             # hottest sequence in the kernel): resume the generator and,
             # when it yields another plain number, push the next timer
@@ -633,6 +741,19 @@ class Simulator:
                 if qlen > self._heap_peak:
                     self._heap_peak = qlen
                 continue
+            if isinstance(target, SimFuture):
+                # Inlined wait registration — mirrors Process._step.
+                obj._waiting_on = target
+                cb = obj._on_wait_done
+                if target._done:
+                    cb(target)
+                else:
+                    cbs = target._callbacks
+                    if cbs is None:
+                        target._callbacks = [cb]
+                    else:
+                        cbs.append(cb)
+                continue
             obj._wait_target(target)
 
     def run(
@@ -646,8 +767,8 @@ class Simulator:
 
         ``max_events`` is a runaway-loop backstop for tests.
         """
-        if until is None and condition is None and max_events is None:
-            self._run_unbounded()
+        if until is None and max_events is None:
+            self._run_core(condition)
             return
         executed = 0
         while True:
@@ -674,13 +795,22 @@ class Simulator:
         Raises :class:`SimulationError` if the queue drains (deadlock) or the
         simulated ``timeout`` elapses before resolution.
         """
-        deadline = None if timeout is None else self._now + timeout
-        while not awaitable._done:
-            if deadline is not None and self._now >= deadline:
-                raise SimulationError(f"timed out after {timeout} simulated seconds")
-            if not self.step():
-                raise SimulationError("deadlock: event queue drained with pending future")
-        return awaitable.value
+        if timeout is None:
+            # Common case: dispatch on the inlined hot loop.
+            if not awaitable._done:
+                self._run_core(awaitable)
+                if not awaitable._done:
+                    raise SimulationError(
+                        "deadlock: event queue drained with pending future"
+                    )
+            return awaitable.value
+        deadline = self._now + timeout
+        self._run_core(awaitable, deadline)
+        if awaitable._done:
+            return awaitable.value
+        if self._now >= deadline:
+            raise SimulationError(f"timed out after {timeout} simulated seconds")
+        raise SimulationError("deadlock: event queue drained with pending future")
 
 
 def all_of(sim: Simulator, futures: Iterable[SimFuture]) -> SimFuture:

@@ -78,27 +78,26 @@ class Network:
         """
         if nbytes < 0:
             raise SimulationError(f"negative message size: {nbytes}")
-        sender = self.host(src)
+        sim = self.sim
+        sender = self._hosts.get(src)
+        if sender is None:
+            sender = self.host(src)
         sender.bytes_sent += nbytes
         sender.messages_sent += 1
-        fut = self.sim.future()
         extra = 0.0
         if self.faults is not None:
             extra = self.faults.net_message(src, dst)
+        spec = self.spec
         if src == dst:
-            self.sim.schedule(
-                self.spec.local_latency + extra, lambda: fut.set_result(payload)
-            )
-            return fut
-        service = self.spec.per_message_overhead + nbytes / self.spec.bandwidth
-        serialized = sender._egress.submit(service)
-        propagation = self.spec.rtt / 2.0 + extra
-
-        def after_serialization(_: SimFuture) -> None:
-            self.sim.schedule(propagation, lambda: fut.set_result(payload))
-
-        serialized.add_callback(after_serialization)
-        return fut
+            return sim.resolve_after(spec.local_latency + extra, payload)
+        # The NIC is a FIFO with deterministic service times, so the
+        # serialization completion instant is known at submit time —
+        # fold serialization + propagation into a single delivery event
+        # instead of chaining a completion future into a second timer.
+        service = spec.per_message_overhead + nbytes / spec.bandwidth
+        serialized_at = sender._egress.occupy(service)
+        delay = (serialized_at - sim._now) + spec.rtt * 0.5 + extra
+        return sim.resolve_after(delay, payload)
 
     def rtt_between(self, src: str, dst: str) -> float:
         """Nominal round-trip time between two hosts."""

@@ -122,6 +122,28 @@ class FifoServer:
         sim.schedule(finish - now, self._complete_cb)
         return fut
 
+    def occupy(self, service_time: float) -> float:
+        """Reserve device time; returns the absolute completion instant.
+
+        Advances the FIFO accounting exactly as :meth:`submit`, but
+        allocates no future and schedules no completion event — callers
+        that only need the finish *time* (e.g. NIC serialization inside
+        ``Network.transfer``, which folds it into the delivery event)
+        skip one heap event and one future per request.  Occupied
+        requests are excluded from :attr:`pending` but are reflected in
+        :meth:`backlog_seconds` and utilization.
+        """
+        if service_time < 0:
+            raise SimulationError(f"negative service time: {service_time}")
+        now = self.sim.now
+        busy = self._busy_until
+        start = now if now > busy else busy
+        finish = start + service_time
+        self._busy_until = finish
+        self.total_busy_time += service_time
+        self.ops_served += 1
+        return finish
+
     def _complete(self) -> None:
         self._completions.popleft().set_result(None)
 

@@ -1,24 +1,34 @@
-"""Golden span-tree workload for tracing-determinism tests.
+"""Golden span-tree workloads for tracing-determinism tests.
 
-``build_pravega_trace`` runs a small deterministic Pravega workload with
-the tracer armed and returns the resulting span forest in a structural,
-JSON-able form: one record per finished span with its name, actor,
-parentage, interval and critical-path components.
+``build_pravega_trace`` / ``build_kafka_trace`` / ``build_pulsar_trace``
+each run a small deterministic workload with the tracer armed and return
+the resulting span forest in a structural, JSON-able form: one record
+per finished span with its name, actor, parentage, interval and
+critical-path components.
 
-The expected output lives in ``tests/data/golden_trace_pravega.json``;
+The expected outputs live in ``tests/data/golden_trace_<system>.json``;
 ``test_trace_golden.py`` asserts the instrumentation keeps producing the
-same tree.  Regenerate (only when the span *shape* deliberately
+same trees.  Regenerate (only when the span *shape* deliberately
 changes — new spans, renamed spans, different parentage) with::
 
-    PYTHONPATH=src python tests/golden_trace.py > tests/data/golden_trace_pravega.json
+    PYTHONPATH=src python tests/golden_trace.py pravega > tests/data/golden_trace_pravega.json
+    PYTHONPATH=src python tests/golden_trace.py kafka   > tests/data/golden_trace_kafka.json
+    PYTHONPATH=src python tests/golden_trace.py pulsar  > tests/data/golden_trace_pulsar.json
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from typing import List
 
-from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+from repro.bench import (
+    KafkaAdapter,
+    PravegaAdapter,
+    PulsarAdapter,
+    WorkloadSpec,
+    run_workload,
+)
 from repro.obs import Tracer, to_chrome_trace
 from repro.sim import Simulator
 
@@ -40,12 +50,34 @@ def build_pravega_trace() -> dict:
     from repro.pravega.client.writer import EventStreamWriter
 
     EventStreamWriter._writer_counter = 0
+    return _build_trace(lambda sim, tracer: PravegaAdapter(
+        sim, journal_sync=True, tracer=tracer
+    ))
+
+
+def build_kafka_trace() -> dict:
+    from repro.kafka.producer import KafkaProducer
+
+    KafkaProducer._counter = 0
+    return _build_trace(lambda sim, tracer: KafkaAdapter(
+        sim, flush_every_message=True, tracer=tracer
+    ))
+
+
+def build_pulsar_trace() -> dict:
+    from repro.pulsar.producer import PulsarProducer
+
+    PulsarProducer._counter = 0
+    return _build_trace(lambda sim, tracer: PulsarAdapter(sim, tracer=tracer))
+
+
+def _build_trace(make_adapter) -> dict:
     sim = Simulator()
     tracer = Tracer(sim)
-    adapter = PravegaAdapter(sim, journal_sync=True, tracer=tracer)
+    adapter = make_adapter(sim, tracer)
     result = run_workload(sim, adapter, SPEC, tracer=tracer)
-    # Let the storage writer's age timer fire so the tree includes the
-    # background tiering spans (lts.chunk_write).
+    # Let background timers fire (storage-writer age seal, offload
+    # polls) so the tree includes the tiering spans where applicable.
     sim.run(until=sim.now + 1.0)
     spans: List[dict] = []
     for span in tracer.spans:
@@ -82,8 +114,16 @@ def _sha(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+BUILDERS = {
+    "pravega": build_pravega_trace,
+    "kafka": build_kafka_trace,
+    "pulsar": build_pulsar_trace,
+}
+
+
 def main() -> None:
-    golden = build_pravega_trace()
+    system = sys.argv[1] if len(sys.argv) > 1 else "pravega"
+    golden = BUILDERS[system]()
     spans = golden.pop("spans")
     # One span per line keeps the fixture diffable without indent bloat.
     lines = ",\n  ".join(json.dumps(s, sort_keys=True) for s in spans)

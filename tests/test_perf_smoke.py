@@ -66,6 +66,89 @@ def _timed_mini_run(tracer):
 
 
 @pytest.mark.perf
+def test_producer_paths_allocate_no_validating_payloads():
+    """Kafka/Pulsar hot paths must use trusted Payload constructors.
+
+    ``Payload.synthetic`` / ``of`` / ``slice`` / ``concat`` all build
+    through ``Payload._trusted`` which bypasses ``__post_init__``
+    validation; a validating copy sneaking back into the per-event path
+    shows up here as a nonzero call count.
+    """
+    from repro.bench import KafkaAdapter, PulsarAdapter, WorkloadSpec, run_workload
+    from repro.common.payload import Payload
+
+    spec = WorkloadSpec(
+        event_size=100,
+        target_rate=3_000,
+        partitions=2,
+        producers=1,
+        consumers=1,
+        duration=0.5,
+        warmup=0.1,
+    )
+    adapters = {
+        "kafka": lambda sim: KafkaAdapter(sim, flush_every_message=False),
+        "pulsar": lambda sim: PulsarAdapter(sim),
+    }
+    original = Payload.__post_init__
+    for name, make_adapter in adapters.items():
+        calls = []
+
+        def counting(self, _calls=calls, _original=original):
+            _calls.append(1)
+            _original(self)
+
+        Payload.__post_init__ = counting
+        try:
+            sim = Simulator()
+            result = run_workload(sim, make_adapter(sim), spec)
+        finally:
+            Payload.__post_init__ = original
+        assert result.produce_rate > 0
+        assert not calls, (
+            f"{name}: {len(calls)} validating Payload constructions on the "
+            f"message path (expected 0; use Payload.synthetic/of/slice/concat)"
+        )
+
+
+@pytest.mark.perf
+def test_tail_reads_skip_avl_and_allocate_no_spans():
+    """Tail-read fast path: streaming consumers that keep up must be
+    served from the O(1) tail entry (zero AVL probes) and, with tracing
+    disabled, allocate zero spans."""
+    from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=False)
+    adapter = PravegaAdapter(sim, tracer=tracer)
+    spec = WorkloadSpec(
+        event_size=100,
+        target_rate=5_000,
+        partitions=2,
+        producers=1,
+        consumers=1,
+        duration=1.0,
+        warmup=0.2,
+    )
+    result = run_workload(sim, adapter, spec, tracer=tracer)
+    assert result.consume_rate > 0
+    tail_hits = 0
+    avl_probes = 0
+    for store in adapter.cluster.stores.values():
+        for container in store.containers.values():
+            tail_hits += container.cache_manager.tail_read_hits
+            avl_probes += container.cache_manager.avl_probes
+    assert tail_hits > 0, "no tail reads hit the fast path"
+    assert avl_probes == 0, (
+        f"{avl_probes} AVL probes during a pure tail-read workload "
+        f"(every read should resolve against the tail entry)"
+    )
+    assert tracer.spans_created == 0, (
+        f"disabled tracer allocated {tracer.spans_created} spans"
+    )
+
+
+@pytest.mark.perf
 @pytest.mark.trace
 def test_tracing_disabled_is_zero_cost():
     """Disabled tracer: zero span allocations and <= 5% wall overhead.

@@ -507,6 +507,29 @@ class TestCancellationCompaction:
         sim.run()
         assert done == [500.0]
 
+    def test_compaction_churn_is_proportional_to_live_heap(self, sim):
+        """Regression test for compaction churn: with a large live heap,
+        a cancellation storm used to trigger an O(live) compaction every
+        ``COMPACT_MIN_CANCELLED`` cancels.  The trigger is proportional
+        now (cancelled must outnumber live 2:1), so each compaction is
+        amortised over O(live) cancellations."""
+        live = 3_000
+        keepers = [sim.schedule(10_000.0, lambda: None) for _ in range(live)]
+        cancels = 20_000
+        for _ in range(cancels // 100):
+            batch = [sim.schedule(5_000.0, lambda: None) for _ in range(100)]
+            for handle in batch:
+                sim.cancel(handle)
+        stats = sim.stats
+        assert stats.compactions > 0
+        # Each compaction needs cancelled >= 2 * live, so the storm can
+        # afford at most cancels / (2 * live / 3) of them; the old fixed
+        # threshold would have produced cancels // COMPACT_MIN_CANCELLED
+        # (~78) O(live)-cost rebuilds.
+        max_compactions = cancels // (2 * live // 3) + 1
+        assert stats.compactions <= max_compactions
+        assert len(keepers) == live
+
     def test_cancel_is_idempotent(self, sim):
         handle = sim.schedule(1.0, lambda: None)
         sim.cancel(handle)

@@ -1,10 +1,10 @@
 """Golden span-tree tests for the tracing subsystem.
 
-``tests/data/golden_trace_pravega.json`` is the span forest of a small
-deterministic Pravega workload.  These tests prove the instrumentation
-keeps producing the same tree — same span names, same parentage, same
-intervals and component attributions — and that the Chrome export stays
-byte-stable (via its committed digest).
+``tests/data/golden_trace_<system>.json`` is the span forest of a small
+deterministic workload per system (Pravega, Kafka, Pulsar).  These tests
+prove the instrumentation keeps producing the same trees — same span
+names, same parentage, same intervals and component attributions — and
+that the Chrome export stays byte-stable (via its committed digest).
 """
 
 import json
@@ -12,24 +12,71 @@ import os
 
 import pytest
 
-from golden_trace import build_pravega_trace
+from golden_trace import build_kafka_trace, build_pravega_trace, build_pulsar_trace
 
-GOLDEN_PATH = os.path.join(
-    os.path.dirname(__file__), "data", "golden_trace_pravega.json"
-)
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
 pytestmark = pytest.mark.trace
 
+BUILDERS = {
+    "pravega": build_pravega_trace,
+    "kafka": build_kafka_trace,
+    "pulsar": build_pulsar_trace,
+}
+
+#: spans every fixture must keep exercising, and their required parentage
+REQUIRED_SPANS = {
+    "pravega": {
+        "pravega.write",
+        "pravega.batch",
+        "segmentstore.rpc_append",
+        "container.append",
+        "durablelog.frame",
+        "bk.entry",
+        "bk.replica",
+        "lts.chunk_write",
+    },
+    "kafka": {"kafka.send", "kafka.batch", "kafka.produce", "kafka.log.append"},
+    "pulsar": {"pulsar.send", "pulsar.publish", "bk.entry", "bk.replica"},
+}
+
+EXPECTED_PARENT = {
+    "pravega": {
+        "pravega.batch": "pravega.write",
+        "segmentstore.rpc_append": "pravega.batch",
+        "container.append": "segmentstore.rpc_append",
+        "durablelog.frame": "container.append",
+        "bk.entry": "durablelog.frame",
+        "bk.replica": "bk.entry",
+    },
+    "kafka": {
+        "kafka.batch": "kafka.send",
+        "kafka.produce": "kafka.batch",
+        "kafka.log.append": "kafka.produce",
+    },
+    "pulsar": {
+        "pulsar.publish": "pulsar.send",
+        "bk.entry": "pulsar.publish",
+        "bk.replica": "bk.entry",
+    },
+}
+
+
+@pytest.fixture(scope="module", params=sorted(BUILDERS))
+def system(request):
+    return request.param
+
 
 @pytest.fixture(scope="module")
-def golden():
-    with open(GOLDEN_PATH) as fh:
+def golden(system):
+    path = os.path.join(DATA_DIR, f"golden_trace_{system}.json")
+    with open(path) as fh:
         return json.load(fh)
 
 
 @pytest.fixture(scope="module")
-def current():
-    return build_pravega_trace()
+def current(system):
+    return BUILDERS[system]()
 
 
 def test_span_forest_is_identical(golden, current):
@@ -41,34 +88,18 @@ def test_chrome_export_is_byte_stable(golden, current):
     assert current["chrome_trace_sha"] == golden["chrome_trace_sha"]
 
 
-def test_golden_tree_covers_the_write_path(golden):
-    """Guard the fixture itself: it must keep exercising the full
-    Pravega write path down to the bookies and the tiering engine."""
+def test_golden_tree_covers_the_write_path(system, golden):
+    """Guard the fixtures themselves: each must keep exercising its
+    system's full write path (for Pravega: down to the bookies and the
+    tiering engine)."""
     names = {span["name"] for span in golden["spans"]}
-    assert {
-        "pravega.write",
-        "pravega.batch",
-        "segmentstore.rpc_append",
-        "container.append",
-        "durablelog.frame",
-        "bk.entry",
-        "bk.replica",
-        "lts.chunk_write",
-    } <= names
+    assert REQUIRED_SPANS[system] <= names
 
 
-def test_golden_parentage_is_wellformed(golden):
+def test_golden_parentage_is_wellformed(system, golden):
     spans = {span["id"]: span for span in golden["spans"]}
-    expected_parent = {
-        "pravega.batch": "pravega.write",
-        "segmentstore.rpc_append": "pravega.batch",
-        "container.append": "segmentstore.rpc_append",
-        "durablelog.frame": "container.append",
-        "bk.entry": "durablelog.frame",
-        "bk.replica": "bk.entry",
-    }
     for span in golden["spans"]:
-        want = expected_parent.get(span["name"])
+        want = EXPECTED_PARENT[system].get(span["name"])
         if want is None:
             continue
         parent = spans.get(span["parent"])
