@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf bench-kernel fuzz trace trace-test suite suite-check
+.PHONY: test perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -39,5 +39,18 @@ suite:
 		$(if $(ONLY),--only $(ONLY)) --json BENCH_suite.json
 
 ## fast smoke of the suite runner: serial vs parallel determinism
+## (includes the workload smoke scenario and its claim asserts)
 suite-check:
 	$(PYTHON) -m repro.bench suite --check --jobs $(or $(JOBS),4)
+
+## the repro.workload experiments (diurnal/flash-crowd auto-scaling,
+## multi-tenant SLO); prefix selection expands to all workload_* scenarios;
+## writes BENCH_workload.json
+workloads:
+	$(PYTHON) -m repro.bench suite --only workload --jobs $(or $(JOBS),3) \
+		--json BENCH_workload.json
+
+## fast workload-marked tier-1 tests only (arrival stats, SLO math,
+## auto-scaling driver smoke)
+workload-test:
+	$(PYTHON) -m pytest -q -m workload

@@ -111,15 +111,24 @@ def scaled_lts_spec(spec: LtsSpec, k: float) -> LtsSpec:
 # Pravega
 # ----------------------------------------------------------------------
 class _PravegaProducer:
-    def __init__(self, adapter: "PravegaAdapter", host: str) -> None:
+    def __init__(
+        self,
+        adapter: "PravegaAdapter",
+        host: str,
+        stream: str = "stream",
+        keys: Optional[List[str]] = None,
+        span_attrs: Optional[dict] = None,
+    ) -> None:
         self.writer = adapter.cluster.create_writer(
-            host, "bench", "stream", adapter.writer_config
+            host, "bench", stream, adapter.writer_config
         )
         self.writer.tracer = adapter.tracer
-        self.adapter = adapter
+        if span_attrs:
+            self.writer.span_attrs = span_attrs
+        self.keys = adapter.keys if keys is None else keys
 
     def send_group(self, partition: Optional[int], count: int, size: int):
-        key = None if partition is None else self.adapter.keys[partition]
+        key = None if partition is None else self.keys[partition]
         return self.writer.write_synthetic_events(count, size, routing_key=key)
 
     def flush(self):
@@ -127,11 +136,19 @@ class _PravegaProducer:
 
 
 class _PravegaConsumer:
-    def __init__(self, adapter: "PravegaAdapter", host: str, index: int, size: int) -> None:
+    def __init__(
+        self,
+        adapter: "PravegaAdapter",
+        host: str,
+        index: int,
+        size: int,
+        group=None,
+        reader_prefix: str = "bench-reader",
+    ) -> None:
         self.reader = adapter.cluster.create_reader(
             host,
-            f"bench-reader-{index}",
-            adapter.reader_group,
+            f"{reader_prefix}-{index}",
+            adapter.reader_group if group is None else group,
             ReaderConfig(fixed_event_size=size),
         )
         sim = adapter.sim
@@ -191,20 +208,43 @@ class PravegaAdapter:
         self.keys: List[str] = []
         self.reader_group = None
         self.partitions = 0
+        self._controller = None
+
+    def _ensure_started(self):
+        """Start the cluster and create the bench scope exactly once.
+
+        Returns the (single) controller client — ``setup`` and
+        ``create_tenant`` share it so the simulated event sequence for
+        single-stream runs is unchanged from before tenants existed."""
+        if self._controller is None:
+            sim = self.sim
+            sim.run_until_complete(self.cluster.start(), timeout=300)
+            self._controller = self.cluster.controller_client("bench-0")
+            sim.run_until_complete(self._controller.create_scope("bench"))
+        return self._controller
 
     def setup(self, partitions: int) -> None:
-        sim = self.sim
-        sim.run_until_complete(self.cluster.start(), timeout=300)
-        client = self.cluster.controller_client("bench-0")
-        sim.run_until_complete(client.create_scope("bench"))
+        client = self._ensure_started()
         policy = self.scaling_policy or ScalingPolicy.fixed(partitions)
-        sim.run_until_complete(
+        self.sim.run_until_complete(
             client.create_stream(
                 "bench", "stream", StreamConfiguration(scaling=policy)
             )
         )
         self.partitions = partitions
         self.keys = range_key_table(partitions)
+
+    def create_tenant(self, name: str, partitions: int, scaling=None):
+        """Provision one tenant stream (``bench/<name>``) on the shared
+        cluster and return its producer/consumer surface."""
+        client = self._ensure_started()
+        policy = scaling or ScalingPolicy.fixed(partitions)
+        self.sim.run_until_complete(
+            client.create_stream(
+                "bench", name, StreamConfiguration(scaling=policy)
+            )
+        )
+        return _PravegaTenant(self, name, partitions)
 
     def new_producer(self, host: str) -> _PravegaProducer:
         return _PravegaProducer(self, host)
@@ -232,19 +272,72 @@ class PravegaAdapter:
         return sum(b.journal_disk.bytes_written for b in self.cluster.bk_cluster.bookies.values())
 
 
+class _PravegaTenant:
+    """One tenant's stream on a shared Pravega cluster."""
+
+    def __init__(self, adapter: PravegaAdapter, tenant: str, partitions: int) -> None:
+        self.adapter = adapter
+        self.tenant = tenant
+        self.name = f"Pravega/{tenant}"
+        self.stream = tenant
+        self.partitions = partitions
+        self.keys = range_key_table(partitions)
+        self.reader_group = None
+        self.span_attrs = {"tenant": tenant}
+
+    def new_producer(self, host: str) -> _PravegaProducer:
+        return _PravegaProducer(
+            self.adapter,
+            host,
+            stream=self.stream,
+            keys=self.keys,
+            span_attrs=self.span_attrs,
+        )
+
+    def new_consumer(self, host: str, index: int, event_size: int) -> _PravegaConsumer:
+        if self.reader_group is None:
+            self.reader_group = self.adapter.sim.run_until_complete(
+                self.adapter.cluster.create_reader_group(
+                    "bench-0", f"{self.tenant}-group", "bench", self.stream
+                ),
+                timeout=60,
+            )
+        return _PravegaConsumer(
+            self.adapter,
+            host,
+            index,
+            event_size,
+            group=self.reader_group,
+            reader_prefix=f"{self.tenant}-reader",
+        )
+
+    @property
+    def crashed(self) -> bool:
+        return False
+
+
 # ----------------------------------------------------------------------
 # Kafka
 # ----------------------------------------------------------------------
 class _KafkaProducerHandle:
-    def __init__(self, adapter: "KafkaAdapter", host: str) -> None:
+    def __init__(
+        self,
+        adapter: "KafkaAdapter",
+        host: str,
+        topic: str = "topic",
+        keys: Optional[List[str]] = None,
+        span_attrs: Optional[dict] = None,
+    ) -> None:
         self.producer = KafkaProducer(
-            adapter.sim, adapter.cluster, "topic", host, adapter.producer_config
+            adapter.sim, adapter.cluster, topic, host, adapter.producer_config
         )
         self.producer.tracer = adapter.tracer
-        self.adapter = adapter
+        if span_attrs:
+            self.producer.span_attrs = span_attrs
+        self.keys = adapter.keys if keys is None else keys
 
     def send_group(self, partition: Optional[int], count: int, size: int):
-        key = None if partition is None else self.adapter.keys[partition]
+        key = None if partition is None else self.keys[partition]
         return self.producer.send(count * size, key=key, count=count)
 
     def flush(self):
@@ -252,9 +345,12 @@ class _KafkaProducerHandle:
 
 
 class _KafkaConsumerHandle:
-    def __init__(self, adapter: "KafkaAdapter", host: str) -> None:
+    def __init__(self, adapter: "KafkaAdapter", host: str, group=None) -> None:
         self.consumer = KafkaConsumer(
-            adapter.sim, adapter.cluster, adapter.group, host
+            adapter.sim,
+            adapter.cluster,
+            adapter.group if group is None else group,
+            host,
         )
 
     def receive(self):
@@ -310,6 +406,13 @@ class KafkaAdapter:
         self.keys = modulo_key_table(partitions)
         self.group = KafkaConsumerGroup(self.cluster, "topic", "bench-group")
 
+    def create_tenant(self, name: str, partitions: int, scaling=None):
+        """Provision one tenant topic on the shared brokers.  Kafka has
+        no auto-scaling; ``scaling`` is accepted for surface parity and
+        ignored (the fixed-partition baseline of the experiments)."""
+        self.cluster.create_topic(name, partitions)
+        return _KafkaTenant(self, name, partitions)
+
     def new_producer(self, host: str) -> _KafkaProducerHandle:
         return _KafkaProducerHandle(self, host)
 
@@ -324,19 +427,57 @@ class KafkaAdapter:
         return sum(b.disk.bytes_written for b in self.cluster.brokers.values())
 
 
+class _KafkaTenant:
+    """One tenant's topic on a shared Kafka cluster."""
+
+    def __init__(self, adapter: KafkaAdapter, tenant: str, partitions: int) -> None:
+        self.adapter = adapter
+        self.tenant = tenant
+        self.name = f"Kafka/{tenant}"
+        self.topic = tenant
+        self.keys = modulo_key_table(partitions)
+        self.group = KafkaConsumerGroup(adapter.cluster, tenant, f"{tenant}-group")
+        self.span_attrs = {"tenant": tenant}
+
+    def new_producer(self, host: str) -> _KafkaProducerHandle:
+        return _KafkaProducerHandle(
+            self.adapter,
+            host,
+            topic=self.topic,
+            keys=self.keys,
+            span_attrs=self.span_attrs,
+        )
+
+    def new_consumer(self, host: str, index: int, event_size: int) -> _KafkaConsumerHandle:
+        return _KafkaConsumerHandle(self.adapter, host, group=self.group)
+
+    @property
+    def crashed(self) -> bool:
+        return self.adapter.crashed
+
+
 # ----------------------------------------------------------------------
 # Pulsar
 # ----------------------------------------------------------------------
 class _PulsarProducerHandle:
-    def __init__(self, adapter: "PulsarAdapter", host: str) -> None:
+    def __init__(
+        self,
+        adapter: "PulsarAdapter",
+        host: str,
+        topic: str = "topic",
+        keys: Optional[List[str]] = None,
+        span_attrs: Optional[dict] = None,
+    ) -> None:
         self.producer = PulsarProducer(
-            adapter.sim, adapter.cluster, "topic", host, adapter.producer_config
+            adapter.sim, adapter.cluster, topic, host, adapter.producer_config
         )
         self.producer.tracer = adapter.tracer
-        self.adapter = adapter
+        if span_attrs:
+            self.producer.span_attrs = span_attrs
+        self.keys = adapter.keys if keys is None else keys
 
     def send_group(self, partition: Optional[int], count: int, size: int):
-        key = None if partition is None else self.adapter.keys[partition]
+        key = None if partition is None else self.keys[partition]
         return self.producer.send(count * size, key=key, count=count)
 
     def flush(self):
@@ -344,9 +485,15 @@ class _PulsarProducerHandle:
 
 
 class _PulsarConsumerHandle:
-    def __init__(self, adapter: "PulsarAdapter", host: str, partitions: List[int]) -> None:
+    def __init__(
+        self,
+        adapter: "PulsarAdapter",
+        host: str,
+        partitions: List[int],
+        topic: str = "topic",
+    ) -> None:
         self.consumer = PulsarConsumer(
-            adapter.sim, adapter.cluster, "topic", host, partitions=partitions
+            adapter.sim, adapter.cluster, topic, host, partitions=partitions
         )
 
     def receive(self):
@@ -423,6 +570,12 @@ class PulsarAdapter:
         self.keys = modulo_key_table(partitions)
         self.partitions = partitions
 
+    def create_tenant(self, name: str, partitions: int, scaling=None):
+        """Provision one tenant topic on the shared brokers (``scaling``
+        accepted for surface parity; Pulsar partitions are fixed)."""
+        self.cluster.create_topic(name, partitions)
+        return _PulsarTenant(self, name, partitions)
+
     def new_producer(self, host: str) -> _PulsarProducerHandle:
         return _PulsarProducerHandle(self, host)
 
@@ -444,6 +597,40 @@ class PulsarAdapter:
             b.journal_disk.bytes_written
             for b in self.cluster.bk_cluster.bookies.values()
         )
+
+
+class _PulsarTenant:
+    """One tenant's topic on a shared Pulsar cluster."""
+
+    def __init__(self, adapter: PulsarAdapter, tenant: str, partitions: int) -> None:
+        self.adapter = adapter
+        self.tenant = tenant
+        self.name = f"Pulsar/{tenant}"
+        self.topic = tenant
+        self.partitions = partitions
+        self.keys = modulo_key_table(partitions)
+        self.span_attrs = {"tenant": tenant}
+        #: set by the workload engine before consumers are created
+        self.total_consumers = 1
+
+    def new_producer(self, host: str) -> _PulsarProducerHandle:
+        return _PulsarProducerHandle(
+            self.adapter,
+            host,
+            topic=self.topic,
+            keys=self.keys,
+            span_attrs=self.span_attrs,
+        )
+
+    def new_consumer(self, host: str, index: int, event_size: int) -> _PulsarConsumerHandle:
+        mine = [
+            p for p in range(self.partitions) if p % self.total_consumers == index
+        ]
+        return _PulsarConsumerHandle(self.adapter, host, mine or [0], topic=self.topic)
+
+    @property
+    def crashed(self) -> bool:
+        return self.adapter.crashed
 
 
 def attach_tracer(adapter, tracer) -> None:

@@ -73,17 +73,20 @@ def _registry() -> Dict[str, Scenario]:
         ("fig08b", "bench_fig08_tail_reads", "test_fig08b_reads_at_16_partitions", 6),
         ("fig09", "bench_fig09_routing_keys", "test_fig09_routing_keys", 8),
         ("fig10a", "bench_fig10_parallelism", "test_fig10a_pravega_and_kafka", 10),
-        ("fig10b", "bench_fig10_parallelism", "test_fig10b_pulsar_instability", 6),
+        ("fig10b", "bench_fig10_parallelism", "test_fig10b_pulsar_instability", 10),
         ("fig11", "bench_fig11_max_throughput", "test_fig11_max_throughput", 10),
         ("fig11b", "bench_fig11_max_throughput", "test_fig11_drive_level_overhead", 4),
         ("fig12", "bench_fig12_historical", "test_fig12_historical_reads", 6),
         ("fig13", "bench_fig13_autoscaling", "test_fig13_autoscaling", 6),
         ("table1", "bench_table1_config", "test_table1_deployment", 2),
+        ("workload_diurnal", "bench_workload", "test_workload_diurnal_autoscaling", 8),
+        ("workload_flash", "bench_workload", "test_workload_flash_crowd", 8),
+        ("workload_slo", "bench_workload", "test_workload_multi_tenant_slo", 6),
     ]
     entries: Dict[str, Scenario] = {}
     for i, (name, module, func, weight) in enumerate(figure):
         entries[name] = Scenario(name, module, func, seed=1000 + i, weight=weight)
-    for i, system in enumerate(("pravega", "kafka", "pulsar")):
+    for i, system in enumerate(("pravega", "kafka", "pulsar", "workload")):
         name = f"smoke_{system}"
         entries[name] = Scenario(
             name, "", f"_smoke_{system}", seed=2000 + i, weight=1, smoke=True
@@ -147,6 +150,28 @@ def _smoke_pulsar(benchmark) -> None:
     from repro.bench.adapters import PulsarAdapter
 
     benchmark.extra_info.update(_run_smoke(lambda sim: PulsarAdapter(sim)))
+
+
+def _smoke_workload(benchmark) -> None:
+    """Two tenants (Poisson + constant) multiplexed through one Pravega
+    cluster with SLO evaluation — the repro.workload path end to end."""
+    from repro.bench.adapters import PravegaAdapter
+    from repro.sim import Simulator
+    from repro.workload import Constant, Poisson, TenantSpec, run_tenants
+
+    sim = Simulator()
+    adapter = PravegaAdapter(sim, journal_sync=True)
+    tenants = [
+        TenantSpec("alpha", arrival=Poisson(3_000.0), partitions=2, consumers=1, seed=11),
+        TenantSpec("beta", arrival=Constant(2_000.0), partitions=1, seed=12),
+    ]
+    run = run_tenants(sim, adapter, tenants, duration=1.0, warmup=0.25)
+    info: dict = {}
+    for name, result in run.results.items():
+        info[f"{name}.produce_rate"] = result.produce_rate
+        info[f"{name}.availability"] = result.extra["slo.availability"]
+        info[f"{name}.slo_ok"] = result.extra["slo.ok"]
+    benchmark.extra_info.update(info)
 
 
 # ----------------------------------------------------------------------
@@ -328,6 +353,29 @@ def deterministic_view(report: dict) -> list:
     return view
 
 
+def _expand_selection(spec: str) -> List[str]:
+    """Expand a comma-separated ``--only``/``--skip`` value.
+
+    Each token is an exact scenario name or a prefix (``fig10`` ->
+    ``fig10a, fig10b``); unknown tokens are an error, not a silent no-op.
+    """
+    names: List[str] = []
+    for token in (t.strip() for t in spec.split(",")):
+        if not token:
+            continue
+        if token in SCENARIOS:
+            matches = [token]
+        else:
+            matches = sorted(n for n in SCENARIOS if n.startswith(token))
+            if not matches:
+                raise SystemExit(
+                    f"unknown scenario {token!r} "
+                    f"(known: {', '.join(sorted(SCENARIOS))})"
+                )
+        names.extend(m for m in matches if m not in names)
+    return names
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -342,7 +390,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--only", default=None,
-        help="comma-separated scenario names (default: all figure scenarios)",
+        help="comma-separated scenario names or prefixes (e.g. fig10 "
+        "selects fig10a,fig10b; default: all figure scenarios)",
+    )
+    parser.add_argument(
+        "--skip", default=None,
+        help="comma-separated scenario names or prefixes to exclude "
+        "(applied after --only)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -382,9 +436,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.only:
-        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        names = _expand_selection(args.only)
     else:
         names = [n for n, s in SCENARIOS.items() if not s.smoke]
+    if args.skip:
+        skipped = set(_expand_selection(args.skip))
+        names = [n for n in names if n not in skipped]
+    if not names:
+        raise SystemExit("selection is empty (check --only/--skip)")
     print(f"running {len(names)} scenarios with --jobs {args.jobs}")
     report = run_suite(names, jobs=args.jobs)
     print(

@@ -26,6 +26,11 @@ def sweep_rates(
     stop_at_saturation: bool = True,
 ) -> List[BenchResult]:
     """Run the workload at each target rate (fresh cluster per point)."""
+    if spec.arrival is not None:
+        raise ValueError(
+            "sweep_rates varies constant target rates; spec.arrival must "
+            "be None (use run_workload/run_tenants for shaped traffic)"
+        )
     results: List[BenchResult] = []
     for rate in rates:
         sim = Simulator()
@@ -47,6 +52,13 @@ def find_max_throughput(
 ) -> BenchResult:
     """Geometric ramp until saturation, then refine between the last
     sustained and the first saturated rate.  Returns the best point."""
+    if spec.arrival is not None:
+        # The probe owns the offered rate; a time-varying arrival process
+        # would silently override every probed target_rate.
+        raise ValueError(
+            "find_max_throughput probes constant rates; spec.arrival must "
+            "be None (use run_workload/run_tenants for shaped traffic)"
+        )
     best: BenchResult | None = None
     rate = start_rate
     last_good = 0.0

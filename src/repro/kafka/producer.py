@@ -15,8 +15,9 @@ Figs. 9-11).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.common.hashing import stable_hash64
 from repro.common.payload import Payload
@@ -61,6 +62,9 @@ class _PartitionBatch:
     size: int = 0
     open_time: float = 0.0
     closed: bool = False
+    #: linger expired while the broker connection was saturated; the
+    #: batch keeps accumulating until a request slot frees up
+    parked: bool = False
     span: Optional[object] = None
 
 
@@ -89,6 +93,9 @@ class KafkaProducer:
         #: in-flight requests per broker connection (max.in.flight semantics)
         self._in_flight: Dict[str, int] = {}
         self._send_waiters: Dict[str, List[SimFuture]] = {}
+        #: partial batches whose linger expired under max.in.flight
+        #: backpressure, awaiting a free request slot per broker
+        self._parked: Dict[str, Deque[Tuple[int, _PartitionBatch]]] = {}
         self._cpu = FifoServer(sim, name=f"cpu:{self.producer_id}")
         self._sticky_partition = 0
         self._unacked = 0
@@ -96,6 +103,9 @@ class KafkaProducer:
         self.bytes_sent = 0
         #: optional repro.obs.Tracer; None keeps the send path untraced
         self.tracer = None
+        #: extra attributes stamped on every root send span (e.g. the
+        #: bench harness sets {"tenant": name} for per-tenant attribution)
+        self.span_attrs: Dict[str, object] = {}
 
     @property
     def num_partitions(self) -> int:
@@ -125,7 +135,11 @@ class KafkaProducer:
         span = None
         if self.tracer is not None:
             span = self.tracer.span(
-                "kafka.send", actor=self.producer_id, bytes=size, events=count
+                "kafka.send",
+                actor=self.producer_id,
+                bytes=size,
+                events=count,
+                **self.span_attrs,
             )
             if span is not None:
                 fut.add_callback(lambda f, s=span: s.finish())
@@ -175,16 +189,50 @@ class KafkaProducer:
         if not batch.closed:
             self._close_batch(partition, batch)
 
-    def _close_batch(self, partition: int, batch: _PartitionBatch) -> None:
+    def _close_batch(
+        self, partition: int, batch: _PartitionBatch, force: bool = False
+    ) -> None:
         if batch.closed or not batch.records:
             batch.closed = True
             return
+        if not force and batch.size < self.config.batch_size:
+            # Accumulator semantics: a *partial* batch whose linger expires
+            # while the broker connection is at max.in.flight is not sealed
+            # — it parks and keeps accumulating records until a request
+            # slot frees (real RecordAccumulator batches are only removed
+            # by drain()).  Sealing here instead would emit a stream of
+            # tiny batches that each pay the full per-request cost — fatal
+            # under flush-per-message, where every batch also pays a
+            # multi-millisecond fsync barrier.
+            tp = TopicPartition(self.topic, partition)
+            broker = self.cluster.assignments[tp][0]
+            if self._in_flight.get(broker, 0) >= self.config.max_in_flight:
+                if not batch.parked:
+                    batch.parked = True
+                    self._parked.setdefault(broker, deque()).append(
+                        (partition, batch)
+                    )
+                return
         batch.closed = True
+        batch.parked = False
         if self._batches.get(partition) is batch:
             del self._batches[partition]
         if partition == self._sticky_partition:
             self._sticky_partition = (self._sticky_partition + 1) % self.num_partitions
         self.sim.process(self._send_batch(partition, batch))
+
+    def _unpark(self, broker: str) -> None:
+        """A request slot freed with no sealed batch waiting: seal the
+        oldest parked batch (it dispatches immediately)."""
+        queue = self._parked.get(broker)
+        while queue:
+            partition, batch = queue.popleft()
+            if batch.closed or not batch.records:
+                batch.closed = True
+                continue
+            batch.parked = False
+            self._close_batch(partition, batch, force=True)
+            return
 
     def _send_batch(self, partition: int, batch: _PartitionBatch):
         config = self.config
@@ -266,6 +314,8 @@ class KafkaProducer:
             waiters = self._send_waiters.get(broker)
             if waiters:
                 waiters.pop(0).set_result(None)
+            else:
+                self._unpark(broker)
 
     def flush(self) -> SimFuture:
         """Resolves when every sent record has been acknowledged."""

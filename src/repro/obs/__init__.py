@@ -16,6 +16,7 @@ from repro.obs.export import to_chrome_trace, export_chrome_trace
 from repro.obs.critical_path import (
     COMPONENTS,
     WRITE_ROOT_NAMES,
+    attr_breakdown,
     event_records,
     median_record,
     summarize,
@@ -28,6 +29,7 @@ __all__ = [
     "export_chrome_trace",
     "COMPONENTS",
     "WRITE_ROOT_NAMES",
+    "attr_breakdown",
     "event_records",
     "median_record",
     "summarize",

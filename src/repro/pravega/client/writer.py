@@ -310,6 +310,9 @@ class EventStreamWriter:
         self._unacked = 0
         #: optional repro.obs.Tracer; None keeps the write path untraced
         self.tracer = None
+        #: extra attributes stamped on every root write span (e.g. the
+        #: bench harness sets {"tenant": name} for per-tenant attribution)
+        self.span_attrs: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Segment discovery / routing
@@ -408,6 +411,7 @@ class EventStreamWriter:
                 actor=self.writer_id,
                 bytes=payload.size,
                 events=event_count,
+                **self.span_attrs,
             )
             if span is not None:
                 fut.add_callback(lambda f, s=span: s.finish())

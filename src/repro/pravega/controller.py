@@ -126,6 +126,10 @@ class Controller:
         self._metadata_ready = False
         #: scale event log for experiments (time, stream, kind, details)
         self.scale_events: List[Tuple[float, str, str, str]] = []
+        #: per-poll load observations for auto-scaled streams (time,
+        #: stream, active segments, total events/s, total bytes/s) —
+        #: lets experiments correlate scale decisions with offered load
+        self.load_samples: List[Tuple[float, str, int, float, float]] = []
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -423,7 +427,35 @@ class Controller:
                 policy = metadata.config.scaling
                 if policy.scale_type is ScaleType.FIXED:
                     continue
+                self._record_load_sample(metadata, load)
                 yield from self._evaluate_stream_scaling(metadata, policy, load)
+
+    def _record_load_sample(
+        self,
+        metadata: StreamMetadata,
+        load: Dict[str, Tuple[float, float]],
+    ) -> None:
+        """Log one (time, stream, segments, rates) observation.
+
+        Pure bookkeeping on data already gathered by the poll — no
+        simulation events, so enabling it cannot perturb timing."""
+        active = metadata.active_segments()
+        events_rate = 0.0
+        bytes_rate = 0.0
+        for record in active:
+            qualified = record.qualified_name(metadata.scope, metadata.name)
+            ev, by = load.get(qualified, (0.0, 0.0))
+            events_rate += ev
+            bytes_rate += by
+        self.load_samples.append(
+            (
+                self.sim.now,
+                f"{metadata.scope}/{metadata.name}",
+                len(active),
+                events_rate,
+                bytes_rate,
+            )
+        )
 
     def _segment_rate(
         self,

@@ -204,9 +204,30 @@ class PulsarBroker:
                     span.finish()
                 raise BrokerCrashedError(self.name)
             yield self.config.request_processing_time
+            # Track replication memory from entry *receipt*: bytes held by
+            # the broker — queued for its CPU, in flight to bookies, or
+            # awaiting the full write quorum — all occupy the pending
+            # buffer.  Counting only post-CPU entries hid the dominant
+            # overload mode: a CPU-saturated broker accumulates its
+            # backlog upstream of the bookie write path and never
+            # reached the old (post-CPU) limit check.
+            self.replication_buffer += payload.size
+            if self.replication_buffer > self.config.memory_limit:
+                self.crash("replication buffer exceeded memory limit")
+                if span is not None:
+                    span.annotate("replication-buffer-oom")
+                    span.finish()
+                raise BrokerCrashedError(self.name)
             yield self.cpu.submit(
                 self.config.per_entry_cpu + payload.size / self.config.cpu_bandwidth
             )
+            if not self.alive:
+                # Crashed (OOM or injected fault) while this entry sat in
+                # the CPU queue; it must not reach a dead broker's ledger.
+                if span is not None:
+                    span.annotate("broker-down")
+                    span.finish()
+                raise BrokerCrashedError(self.name)
             managed = self.ledgers[partition]
             ledger = managed.current
             offset = managed.length
@@ -217,15 +238,6 @@ class PulsarBroker:
                 _EntryIndex(offset, payload.size, record_count, ledger)
             )
             managed.entry_offsets.append(offset)
-            # Track replication memory: until all write-quorum replicas ack,
-            # the entry stays in the broker's pending buffer.
-            self.replication_buffer += payload.size
-            if self.replication_buffer > self.config.memory_limit:
-                self.crash("replication buffer exceeded memory limit")
-                if span is not None:
-                    span.annotate("replication-buffer-oom")
-                    span.finish()
-                raise BrokerCrashedError(self.name)
             append = managed.current.handle.append(payload, span=span)
 
             def full_replication_done(_: SimFuture) -> None:

@@ -83,6 +83,9 @@ class PulsarProducer:
         self.bytes_sent = 0
         #: optional repro.obs.Tracer; None keeps the publish path untraced
         self.tracer = None
+        #: extra attributes stamped on every root send span (e.g. the
+        #: bench harness sets {"tenant": name} for per-tenant attribution)
+        self.span_attrs: Dict[str, object] = {}
 
     @property
     def num_partitions(self) -> int:
@@ -153,7 +156,11 @@ class PulsarProducer:
         span = None
         if self.tracer is not None:
             span = self.tracer.span(
-                "pulsar.send", actor=self.producer_id, bytes=size, events=count
+                "pulsar.send",
+                actor=self.producer_id,
+                bytes=size,
+                events=count,
+                **self.span_attrs,
             )
             if span is not None:
                 fut.add_callback(lambda f, s=span: s.finish())

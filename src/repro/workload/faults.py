@@ -1,0 +1,35 @@
+"""Fault-under-burst composition: align fault injection with load peaks.
+
+Availability numbers measured against flat load miss the interesting
+regime — a broker crash *during* a flash crowd hits a system with no
+headroom.  :func:`fault_at_peak` schedules any fault action at the
+moment an arrival process peaks, so fault plans compose with traffic
+patterns without hand-computing spike times.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.workload.arrival import ArrivalProcess
+
+__all__ = ["fault_at_peak"]
+
+
+def fault_at_peak(
+    plan: FaultPlan,
+    arrival: ArrivalProcess,
+    action: str,
+    target: str,
+    horizon: float,
+    offset: float = 0.0,
+    **kw,
+) -> FaultPlan:
+    """Add ``action`` on ``target`` timed to the pattern's peak.
+
+    ``horizon`` bounds the peak search (the load length, in pattern
+    time — the fault engine's clock starts with the load, so no epoch
+    translation is needed).  ``offset`` shifts the trigger relative to
+    the peak (negative = before).  Returns the plan for chaining.
+    """
+    at = max(0.0, arrival.peak_time(0.0, horizon) + offset)
+    return plan.add(FaultRule(action, target, at=at, **kw))

@@ -173,6 +173,40 @@ class TestProducer:
         )
         assert sticky_batches < keyed_batches
 
+    def test_partial_batch_parks_under_max_in_flight(self, sim):
+        """RecordAccumulator semantics: a partial batch whose linger
+        expires while the broker connection is at max.in.flight parks and
+        keeps accumulating instead of sealing dilute; it seals when a
+        request slot frees.  Regression for the flush-mode collapse where
+        every linger-sealed sliver paid a full fsync barrier."""
+        cluster = make_cluster(sim, flush=True)
+        cluster.create_topic("t", 1)
+        producer = KafkaProducer(
+            sim, cluster, "t", "client",
+            KafkaProducerConfig(linger=1e-3, max_in_flight=1),
+        )
+        futs = []
+        saw_parked = [False]
+
+        def pump():
+            for _ in range(51):
+                futs.append(producer.send(100))
+                if any(b.parked for b in producer._batches.values()):
+                    saw_parked[0] = True
+                yield 0.0001
+
+        run(sim, sim.process(pump()))
+        run(sim, all_of(sim, futs))
+        assert saw_parked[0]
+        tp = TopicPartition("t", 0)
+        log = cluster.leader(tp).logs[tp]
+        assert log.leo == 51
+        # The linger expired repeatedly while the single request slot was
+        # busy; parking coalesces the backlog into a few fat batches
+        # (one per freed slot) instead of one dilute sliver per expiry.
+        assert len(log.batches) <= 8
+        assert max(b.record_count for b in log.batches) >= 10
+
     def test_flush_drains_everything(self, sim):
         cluster = make_cluster(sim)
         cluster.create_topic("t", 4)

@@ -1,0 +1,232 @@
+"""Arrival processes: statistical properties and determinism.
+
+Two kinds of guarantee:
+
+* statistics — empirical event counts track the configured rate
+  functions (means within tolerance, MMPP bursts visible, Zipf rank
+  frequencies exact under largest-remainder apportionment);
+* determinism — same seed, same draw sequence, bit-identical counts;
+  cross-``--jobs`` identity rides the suite determinism test via the
+  ``smoke_workload`` scenario (see test_suite_runner.py).
+"""
+
+import math
+
+import pytest
+
+from repro.workload import (
+    Composite,
+    Constant,
+    Diurnal,
+    FlashCrowd,
+    HotKeyChurn,
+    MMPP,
+    Piecewise,
+    Poisson,
+    Ramp,
+    UniformSkew,
+    ZipfSkew,
+)
+
+TICK = 0.005
+
+
+def _total_events(process, seed, t0, t1, tick=TICK, fraction=1.0):
+    sampler = process.sampler(seed, fraction)
+    total = 0
+    steps = int(round((t1 - t0) / tick))
+    for i in range(steps):
+        total += sampler.events(t0 + i * tick, t0 + (i + 1) * tick)
+    return total
+
+
+def _count_series(process, seed, t0, t1, tick=TICK):
+    sampler = process.sampler(seed, 1.0)
+    steps = int(round((t1 - t0) / tick))
+    return [
+        sampler.events(t0 + i * tick, t0 + (i + 1) * tick) for i in range(steps)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Shapes
+# ----------------------------------------------------------------------
+def test_constant_is_exact():
+    # Carry integration loses at most one fractional event at the end.
+    assert _total_events(Constant(12_345.0), seed=1, t0=0.0, t1=10.0) == 123_450
+
+
+def test_ramp_mean_matches_trapezoid():
+    ramp = Ramp(start_eps=1_000.0, end_eps=5_000.0, duration=10.0)
+    total = _total_events(ramp, seed=1, t0=0.0, t1=10.0)
+    # Linear shape => trapezoid integration is exact: mean 3000 eps.
+    assert abs(total - 30_000) <= 1
+    assert ramp.peak_rate == 5_000.0
+    assert ramp.rate(-1.0) == 1_000.0 and ramp.rate(20.0) == 5_000.0
+
+
+def test_diurnal_shape_and_mean():
+    diurnal = Diurnal(trough_eps=500.0, peak_eps=1_500.0, period=40.0)
+    assert diurnal.rate(0.0) == pytest.approx(500.0)
+    assert diurnal.rate(20.0) == pytest.approx(1_500.0)
+    # Full-period mean is (trough + peak) / 2.
+    assert diurnal.mean_rate(0.0, 40.0) == pytest.approx(1_000.0, rel=1e-3)
+    assert diurnal.peak_time(0.0, 40.0) == pytest.approx(20.0, abs=0.1)
+    total = _total_events(diurnal, seed=1, t0=0.0, t1=40.0)
+    assert abs(total - 40_000) / 40_000 < 0.01
+
+
+def test_flash_crowd_shape():
+    flash = FlashCrowd(base_eps=100.0, spike_eps=900.0, at=10.0, rise=1.0, hold=5.0, fall=4.0)
+    assert flash.rate(9.9) == 100.0
+    assert flash.rate(10.5) == pytest.approx(500.0)
+    assert flash.rate(12.0) == 900.0
+    assert flash.rate(30.0) == 100.0
+    assert flash.peak_rate == 900.0
+    assert 10.9 <= flash.peak_time(0.0, 30.0) <= 16.1
+
+
+def test_piecewise_replay():
+    trace = Piecewise(((0.0, 100.0), (10.0, 300.0), (20.0, 0.0)))
+    assert trace.rate(5.0) == pytest.approx(200.0)
+    assert trace.rate(25.0) == 0.0
+    assert trace.peak_rate == 300.0
+    with pytest.raises(ValueError):
+        Piecewise(((5.0, 1.0), (0.0, 2.0)))
+    with pytest.raises(ValueError):
+        Piecewise(())
+
+
+def test_composite_superposition():
+    combined = Constant(1_000.0) + Constant(500.0)
+    assert isinstance(combined, Composite)
+    assert combined.rate(3.0) == 1_500.0
+    assert combined.peak_rate == 1_500.0
+    total = _total_events(combined, seed=7, t0=0.0, t1=10.0)
+    assert abs(total - 15_000) <= 2
+
+
+# ----------------------------------------------------------------------
+# Stochastic processes: empirical means and burstiness
+# ----------------------------------------------------------------------
+def test_poisson_empirical_mean():
+    total = _total_events(Poisson(10_000.0), seed=42, t0=0.0, t1=20.0)
+    # 200k expected events; 3 sigma ~ 0.7%.
+    assert abs(total - 200_000) / 200_000 < 0.01
+
+
+def test_poisson_modulated_by_shape():
+    shaped = Poisson(Ramp(0.0, 2_000.0, duration=10.0))
+    total = _total_events(shaped, seed=9, t0=0.0, t1=10.0)
+    assert abs(total - 10_000) / 10_000 < 0.05
+    assert shaped.peak_rate == 2_000.0
+
+
+def test_mmpp_stationary_mean_and_bursts():
+    mmpp = MMPP(rates_eps=(1_000.0, 9_000.0), mean_dwell=(8.0, 2.0))
+    # Stationary mean: (1000*8 + 9000*2) / 10 = 2600 eps.
+    assert mmpp.rate(0.0) == pytest.approx(2_600.0)
+    assert mmpp.burst_factor == pytest.approx(9_000.0 / 2_600.0)
+    series = _count_series(mmpp, seed=5, t0=0.0, t1=400.0, tick=0.01)
+    total = sum(series)
+    expect = 2_600.0 * 400.0
+    assert abs(total - expect) / expect < 0.10  # dwell randomness is slow
+    # Burstiness: 1-second windows must show both regimes.
+    per_second = [
+        sum(series[i : i + 100]) for i in range(0, len(series), 100)
+    ]
+    assert max(per_second) > 0.7 * 9_000
+    assert min(per_second) < 1.5 * 1_000
+
+
+# ----------------------------------------------------------------------
+# Key skew
+# ----------------------------------------------------------------------
+def test_uniform_skew_is_even():
+    router = UniformSkew().router(4, seed=1)
+    counts = [0] * 4
+    for _ in range(1_000):
+        for key, share in router.shares(10, 0.0):
+            counts[key] += share
+    assert counts == [2_500] * 4
+
+
+def test_zipf_rank_frequencies_are_exact():
+    s = 1.0
+    partitions = 8
+    router = ZipfSkew(s=s).router(partitions, seed=3)
+    counts = [0] * partitions
+    total = 0
+    for _ in range(10_000):
+        for key, share in router.shares(13, 0.0):
+            counts[key] += share
+            total += share
+    ordered = sorted(counts, reverse=True)
+    weights = [1.0 / (r + 1) ** s for r in range(partitions)]
+    norm = sum(weights)
+    for rank, count in enumerate(ordered):
+        expect = total * weights[rank] / norm
+        # Largest-remainder carry makes long-run shares exact to +-1 per key.
+        assert abs(count - expect) <= partitions + 1, (rank, count, expect)
+
+
+def test_zipf_pinned_hot_key_is_stable_across_seeds():
+    a = ZipfSkew(s=1.2, pinned=True).router(8, seed=1)
+    b = ZipfSkew(s=1.2, pinned=True).router(8, seed=999)
+    hot_a = max(a.shares(1_000, 0.0), key=lambda kv: kv[1])[0]
+    hot_b = max(b.shares(1_000, 0.0), key=lambda kv: kv[1])[0]
+    assert hot_a == hot_b
+
+
+def test_hot_key_churn_moves_the_hot_set():
+    skew = HotKeyChurn(hot_share=0.8, hot_count=1, churn_interval=10.0)
+    router = skew.router(8, seed=4)
+    hot_by_epoch = []
+    for epoch in range(6):
+        counts = [0] * 8
+        now = epoch * 10.0 + 1.0
+        for _ in range(200):
+            for key, share in router.shares(50, now):
+                counts[key] += share
+        hot = max(range(8), key=lambda k: counts[k])
+        assert counts[hot] / sum(counts) == pytest.approx(0.8, abs=0.02)
+        hot_by_epoch.append(hot)
+    assert len(set(hot_by_epoch)) > 1  # the hot key actually churns
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "process",
+    [
+        Constant(5_000.0),
+        Poisson(5_000.0),
+        MMPP(rates_eps=(500.0, 4_000.0)),
+        Diurnal(200.0, 2_000.0, period=20.0),
+        Poisson(Diurnal(200.0, 2_000.0, period=20.0)) + Constant(100.0),
+    ],
+    ids=["constant", "poisson", "mmpp", "diurnal", "composite"],
+)
+def test_bit_identical_across_runs(process):
+    first = _count_series(process, seed=11, t0=0.0, t1=30.0)
+    second = _count_series(process, seed=11, t0=0.0, t1=30.0)
+    assert first == second
+    assert sum(first) > 0
+
+
+def test_seeds_decorrelate_stochastic_draws():
+    a = _count_series(Poisson(5_000.0), seed=1, t0=0.0, t1=5.0)
+    b = _count_series(Poisson(5_000.0), seed=2, t0=0.0, t1=5.0)
+    assert a != b
+    # ...while both converge to the same mean.
+    assert abs(sum(a) - sum(b)) / 25_000 < 0.05
+
+
+def test_fraction_splits_load_across_producers():
+    whole = _total_events(Constant(10_000.0), seed=1, t0=0.0, t1=5.0)
+    halves = sum(
+        _total_events(Constant(10_000.0), seed=i, t0=0.0, t1=5.0, fraction=0.5)
+        for i in range(2)
+    )
+    assert abs(whole - halves) <= 2
