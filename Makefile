@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test
+.PHONY: test perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -54,3 +54,14 @@ workloads:
 ## auto-scaling driver smoke)
 workload-test:
 	$(PYTHON) -m pytest -q -m workload
+
+## scale-benchmark smoke: trimmed macroscope + fluid cross-validation
+## scenarios under generous wall-clock budgets (full run writes
+## BENCH_scale.json: PYTHONPATH=src python benchmarks/bench_scale.py)
+scale:
+	$(PYTHON) benchmarks/bench_scale.py --check
+
+## fluid-marked tier-1 tests only (golden byte-identity guard, model
+## units, headline cross-validation)
+fluid-test:
+	$(PYTHON) -m pytest -q -m fluid

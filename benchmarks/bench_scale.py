@@ -1,0 +1,429 @@
+#!/usr/bin/env python
+"""Scale benchmarks for the hybrid fluid/discrete simulation kernel.
+
+Two families of scenarios, one JSON report (``BENCH_scale.json``):
+
+* ``scale_100k`` / ``scale_hotspot`` — the macroscope: a 10^5-tenant x
+  10^3-segment cluster modelled for a full diurnal day by
+  :class:`repro.workload.fluid.FluidScaleModel`, anchored by short
+  hybrid-accelerated calibration probes through the real bench driver.
+  Records modelled events and the kernel events a discrete run of the
+  same traffic would have cost.  ``scale_hotspot`` reruns the same
+  population on an underprovisioned store fleet so the diurnal peak
+  saturates and per-class SLO attainment degrades.
+* ``fig05a_xval`` / ``fig06a_xval`` — the accuracy contract: the
+  figure-5a and figure-6a headline metrics measured twice, full
+  discrete vs fluid-accelerated, recording per-variant error, wall
+  seconds per leg, and kernel events avoided.
+
+Timing follows ``bench_kernel.py``'s convention: each timed leg runs
+``--repeats`` times (default 3) and the best wall time is kept.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full run
+    PYTHONPATH=src python benchmarks/bench_scale.py --check    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scale.py --json OUT # custom path
+
+``--check`` runs trimmed scenarios (single repeat) under generous
+wall-clock budgets and exits non-zero on blowouts — wired into
+``make scale``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import (  # noqa: E402
+    KafkaAdapter,
+    PravegaAdapter,
+    PulsarAdapter,
+    WorkloadSpec,
+    find_max_throughput,
+    run_workload,
+)
+from repro.pulsar import PulsarProducerConfig  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.sim.fluid import FluidSpec  # noqa: E402
+from repro.workload.fluid import (  # noqa: E402
+    FluidScaleModel,
+    ScaleCalibration,
+    ScaleSpec,
+    calibrate_scale,
+)
+
+EVENT_SIZE = 100
+
+
+def _spec(partitions: int, rate: float, fluid: Optional[FluidSpec]) -> WorkloadSpec:
+    return WorkloadSpec(
+        event_size=EVENT_SIZE,
+        target_rate=rate,
+        partitions=partitions,
+        producers=1,
+        consumers=0,
+        duration=3.0,
+        warmup=1.0,
+        fluid=fluid,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-validation legs.  Each leg wraps the adapter factory so every
+# Simulator the sweep spins up is captured; summing their stats gives
+# the leg's true kernel-event cost.
+# ----------------------------------------------------------------------
+class _Leg:
+    """One timed discrete-or-fluid measurement leg."""
+
+    def __init__(self, make_adapter, fluid: Optional[FluidSpec]):
+        self.make_adapter = make_adapter
+        self.fluid = fluid
+        self.sims: List[Simulator] = []
+
+    def make(self, sim: Simulator):
+        self.sims.append(sim)
+        return self.make_adapter(sim)
+
+    def kernel_events(self) -> int:
+        return sum(
+            s.stats.events_executed + s.stats.microtasks_executed for s in self.sims
+        )
+
+
+def _best_of(fn: Callable[[], Dict], repeats: int) -> Dict:
+    """Run ``fn`` ``repeats`` times, keep the run with the best wall time."""
+    best: Optional[Dict] = None
+    for _ in range(repeats):
+        out = fn()
+        if best is None or out["wall_s"] < best["wall_s"]:
+            best = out
+    return best
+
+
+def _max_search(make_adapter, fluid, partitions=1, start=100_000) -> Dict:
+    leg = _Leg(make_adapter, fluid)
+    t0 = time.perf_counter()
+    best = find_max_throughput(
+        leg.make,
+        _spec(partitions, 0, fluid),
+        start_rate=start,
+        growth=2.0,
+        refine_steps=1,
+        max_rate=4_000_000,
+    )
+    return {
+        "wall_s": time.perf_counter() - t0,
+        "max_eps": best.produce_rate,
+        "kernel_events": leg.kernel_events(),
+    }
+
+
+def _low_rate_p95(make_adapter, fluid) -> Dict:
+    leg = _Leg(make_adapter, fluid)
+    spec = dataclasses.replace(_spec(1, 2_000, fluid), tick=1e-3)
+    t0 = time.perf_counter()
+    sim = Simulator()
+    result = run_workload(sim, leg.make(sim), spec)
+    return {
+        "wall_s": time.perf_counter() - t0,
+        "p95_s": result.write_latency.p95,
+        "kernel_events": leg.kernel_events(),
+    }
+
+
+FIG05A_VARIANTS = {
+    "Pravega (flush)": lambda sim: PravegaAdapter(sim, journal_sync=True),
+    "Pravega (no flush)": lambda sim: PravegaAdapter(sim, journal_sync=False),
+    "Kafka (no flush)": lambda sim: KafkaAdapter(sim, flush_every_message=False),
+    "Kafka (flush)": lambda sim: KafkaAdapter(sim, flush_every_message=True),
+}
+
+FIG06A_VARIANTS = {
+    "Pravega (dynamic)": lambda sim: PravegaAdapter(sim),
+    "Pulsar (batch)": lambda sim: PulsarAdapter(
+        sim, producer_config=PulsarProducerConfig(batching=True)
+    ),
+    "Pulsar (no batch)": lambda sim: PulsarAdapter(
+        sim, producer_config=PulsarProducerConfig(batching=False)
+    ),
+}
+
+
+def _xval_record(per_variant: List[Dict]) -> Dict:
+    wall_d = sum(v["discrete_wall_s"] for v in per_variant)
+    wall_f = sum(v["fluid_wall_s"] for v in per_variant)
+    events_d = sum(v["discrete_kernel_events"] for v in per_variant)
+    events_f = sum(v["fluid_kernel_events"] for v in per_variant)
+    return {
+        "variants": per_variant,
+        "wall_s": wall_f,
+        "discrete_wall_s": wall_d,
+        "fluid_wall_s": wall_f,
+        "speedup": wall_d / max(wall_f, 1e-9),
+        "kernel_events_discrete": events_d,
+        "kernel_events_fluid": events_f,
+        "kernel_events_avoided": events_d - events_f,
+        "max_err_pct": max(
+            e for v in per_variant for e in v["errors_pct"].values()
+        ),
+    }
+
+
+def fig05a_xval(repeats: int, variants=None) -> Dict:
+    per_variant = []
+    for label in variants or FIG05A_VARIANTS:
+        make = FIG05A_VARIANTS[label]
+        d = _best_of(lambda: _max_search(make, None), repeats)
+        f = _best_of(lambda: _max_search(make, FluidSpec()), repeats)
+        err = abs(f["max_eps"] - d["max_eps"]) / max(d["max_eps"], 1.0) * 100.0
+        per_variant.append(
+            {
+                "variant": label,
+                "discrete_max_eps": d["max_eps"],
+                "fluid_max_eps": f["max_eps"],
+                "errors_pct": {"max_eps": err},
+                "discrete_wall_s": d["wall_s"],
+                "fluid_wall_s": f["wall_s"],
+                "discrete_kernel_events": d["kernel_events"],
+                "fluid_kernel_events": f["kernel_events"],
+            }
+        )
+    return _xval_record(per_variant)
+
+
+def fig06a_xval(repeats: int, variants=None) -> Dict:
+    per_variant = []
+    for label in variants or FIG06A_VARIANTS:
+        make = FIG06A_VARIANTS[label]
+        d_lat = _best_of(lambda: _low_rate_p95(make, None), repeats)
+        f_lat = _best_of(lambda: _low_rate_p95(make, FluidSpec()), repeats)
+        d_max = _best_of(lambda: _max_search(make, None, start=50_000), repeats)
+        f_max = _best_of(
+            lambda: _max_search(make, FluidSpec(), start=50_000), repeats
+        )
+        lat_err = (
+            abs(f_lat["p95_s"] - d_lat["p95_s"]) / max(d_lat["p95_s"], 1e-9) * 100.0
+        )
+        max_err = (
+            abs(f_max["max_eps"] - d_max["max_eps"])
+            / max(d_max["max_eps"], 1.0)
+            * 100.0
+        )
+        per_variant.append(
+            {
+                "variant": label,
+                "discrete_p95_ms": d_lat["p95_s"] * 1e3,
+                "fluid_p95_ms": f_lat["p95_s"] * 1e3,
+                "discrete_max_eps": d_max["max_eps"],
+                "fluid_max_eps": f_max["max_eps"],
+                "errors_pct": {"p95": lat_err, "max_eps": max_err},
+                "discrete_wall_s": d_lat["wall_s"] + d_max["wall_s"],
+                "fluid_wall_s": f_lat["wall_s"] + f_max["wall_s"],
+                "discrete_kernel_events": d_lat["kernel_events"]
+                + d_max["kernel_events"],
+                "fluid_kernel_events": f_lat["kernel_events"]
+                + f_max["kernel_events"],
+            }
+        )
+    return _xval_record(per_variant)
+
+
+# ----------------------------------------------------------------------
+# Macroscope scenarios.
+# ----------------------------------------------------------------------
+_CAL_CACHE: List[Optional[ScaleCalibration]] = [None]
+
+
+def _calibration() -> ScaleCalibration:
+    """One calibration, many what-if runs (scale_hotspot reuses it)."""
+    if _CAL_CACHE[0] is None:
+        _CAL_CACHE[0] = calibrate_scale(event_size=500)
+    return _CAL_CACHE[0]
+
+
+def _run_macroscope(spec: ScaleSpec, repeats: int, calibrate: bool) -> Dict:
+    def once() -> Dict:
+        t0 = time.perf_counter()
+        if calibrate:
+            _CAL_CACHE[0] = None
+        cal = _calibration()
+        model = FluidScaleModel(spec, cal)
+        report = model.run()
+        wall = time.perf_counter() - t0
+        out = {"wall_s": wall, "report": report, "cal": cal}
+        return out
+
+    best = _best_of(once, repeats)
+    report = best["report"]
+    cal = best["cal"]
+    summary = report.summary()
+    record = {
+        "wall_s": best["wall_s"],
+        "tenants": spec.tenants,
+        "segments": spec.segments,
+        "stores": spec.stores,
+        "horizon_s": spec.horizon,
+        "steps": report.steps,
+        "calibration": {
+            "base_latency_ms": cal.base_latency * 1e3,
+            "segment_cap_mbps": cal.segment_cap_bytes / 1e6,
+            "store_cap_mbps": cal.store_cap_bytes / 1e6,
+            "kernel_events_per_event": cal.kernel_events_per_event,
+            "probe_wall_s": cal.probe_wall_seconds,
+        },
+        "modelled_events": report.modelled_events,
+        "kernel_events_equivalent": report.kernel_events_equivalent,
+        "kernel_events_spent": report.kernel_events_spent,
+        "kernel_events_avoided": summary["kernel_events_avoided"],
+        "peak_store_utilization": report.peak_store_utilization,
+        "peak_backlog_seconds": report.peak_backlog_seconds,
+        "classes": report.classes,
+    }
+    return record
+
+
+def scale_100k(repeats: int, smoke: bool = False) -> Dict:
+    spec = (
+        ScaleSpec(tenants=20_000, segments=200, stores=10, step=900.0)
+        if smoke
+        else ScaleSpec()
+    )
+    return _run_macroscope(spec, repeats, calibrate=True)
+
+
+def scale_hotspot(repeats: int, smoke: bool = False) -> Dict:
+    spec = (
+        ScaleSpec(tenants=20_000, segments=200, stores=2, step=900.0)
+        if smoke
+        else ScaleSpec(stores=6)
+    )
+    return _run_macroscope(spec, repeats, calibrate=False)
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+# (name, full thunk(repeats), smoke thunk(repeats), smoke budget s)
+SCENARIOS = [
+    (
+        "scale_100k",
+        lambda r: scale_100k(r),
+        lambda r: scale_100k(r, smoke=True),
+        120.0,
+    ),
+    (
+        "scale_hotspot",
+        lambda r: scale_hotspot(r),
+        lambda r: scale_hotspot(r, smoke=True),
+        60.0,
+    ),
+    (
+        "fig05a_xval",
+        lambda r: fig05a_xval(r),
+        lambda r: fig05a_xval(1, variants=["Kafka (no flush)"]),
+        120.0,
+    ),
+    (
+        "fig06a_xval",
+        lambda r: fig06a_xval(r),
+        lambda r: fig06a_xval(1, variants=["Pulsar (no batch)"]),
+        120.0,
+    ),
+]
+
+
+def _describe(name: str, record: Dict) -> str:
+    if "speedup" in record:
+        return (
+            f"{record['discrete_wall_s']:6.1f}s -> {record['fluid_wall_s']:5.1f}s "
+            f"({record['speedup']:.1f}x, max err {record['max_err_pct']:.2f}%)"
+        )
+    return (
+        f"{record['wall_s']:6.1f}s  {record['modelled_events']:.3g} events "
+        f"({record['kernel_events_avoided']:.3g} kernel events avoided)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="trimmed CI smoke mode: fail if any scenario blows its "
+        "(generous) wall-clock budget",
+    )
+    parser.add_argument(
+        "--json",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_scale.json"
+        ),
+        help="output path for the JSON report (full mode only)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help="run only the named scenario(s); may repeat",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.scenario:
+        known = {row[0] for row in SCENARIOS}
+        unknown = [name for name in args.scenario if name not in known]
+        if unknown:
+            parser.error(f"unknown scenario(s): {unknown}")
+    selected = [
+        row for row in SCENARIOS if not args.scenario or row[0] in args.scenario
+    ]
+
+    mode = "smoke" if args.check else "full"
+    repeats = 1 if args.check else args.repeats
+    print(f"scale bench ({mode} mode, repeats={repeats})")
+    results = {}
+    failures = []
+    for name, full, smoke, budget in selected:
+        fn = smoke if args.check else full
+        t0 = time.perf_counter()
+        record = fn(repeats)
+        harness_wall = time.perf_counter() - t0
+        record["name"] = name
+        results[name] = record
+        print(f"  {name:<14} {_describe(name, record)}")
+        if args.check and harness_wall > budget:
+            failures.append(f"{name}: {harness_wall:.1f}s > budget {budget:.0f}s")
+
+    if args.check:
+        if failures:
+            print("SCALE CHECK FAILED:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("scale check ok")
+        return 0
+
+    report = {
+        "python": sys.version.split()[0],
+        "mode": mode,
+        "repeats": repeats,
+        "scenarios": results,
+    }
+    out = os.path.abspath(args.json)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,8 +17,10 @@ from repro.bench.results import (
 )
 from repro.bench.runner import WorkloadSpec, run_workload
 from repro.bench.sweeps import find_max_throughput, sweep_rates
+from repro.sim.fluid import FluidSpec
 
 __all__ = [
+    "FluidSpec",
     "PravegaAdapter",
     "KafkaAdapter",
     "PulsarAdapter",

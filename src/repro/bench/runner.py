@@ -26,6 +26,7 @@ the single-workload entry point with unchanged behaviour.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
@@ -33,6 +34,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.common.errors import ReproError
 from repro.common.metrics import TimeSeries
 from repro.sim.core import Interrupt, SimFuture, SimulationError, Simulator, all_of
+from repro.sim.fluid import FluidController, FluidSpec
 from repro.bench.results import BenchResult
 
 __all__ = ["WorkloadSpec", "WorkloadEngine", "run_workload"]
@@ -89,6 +91,11 @@ class WorkloadSpec:
     ack_grace: float = 0.25
     #: seeds the arrival samplers and skew routers
     seed: int = 0
+    #: hybrid fluid/discrete mode (repro.sim.fluid.FluidSpec); None keeps
+    #: the run fully discrete unless the ``REPRO_FLUID`` env toggle is
+    #: set.  Strictly an approximation: steady-state stretches are
+    #: integrated analytically, transitions stay exact.
+    fluid: Optional[object] = None
 
     @property
     def peak_rate(self) -> float:
@@ -147,6 +154,7 @@ class WorkloadEngine:
         observer=None,
         label: Optional[str] = None,
         series_interval: Optional[float] = None,
+        fault_engine=None,
     ) -> None:
         self.sim = sim
         self.client = client
@@ -155,6 +163,7 @@ class WorkloadEngine:
         self.probe_interval = probe_interval
         self.observer = observer
         self.series_interval = series_interval
+        self.fault_engine = fault_engine
         name = getattr(client, "name", "bench")
         self.result = BenchResult(
             label=label or f"{name} p={spec.partitions} w={spec.producers}",
@@ -165,6 +174,14 @@ class WorkloadEngine:
         self._consumer_procs: List[object] = []
         self.window_start = 0.0
         self.window_end = 0.0
+        self.epoch = 0.0
+        self.load_end = 0.0
+        fluid_spec = spec.fluid
+        if fluid_spec is None and os.environ.get("REPRO_FLUID"):
+            fluid_spec = FluidSpec()
+        self._fluid_spec = fluid_spec
+        #: the hybrid-mode controller (None when fully discrete)
+        self.fluid: Optional[FluidController] = None
 
     # ------------------------------------------------------------------
     def start(self) -> "WorkloadEngine":
@@ -177,11 +194,16 @@ class WorkloadEngine:
         if hasattr(self.client, "total_consumers"):
             self.client.total_consumers = max(spec.consumers, 1)
 
-        epoch = sim.now
+        epoch = self.epoch = sim.now
         window_start = self.window_start = sim.now + spec.warmup
         window_end = self.window_end = sim.now + spec.warmup + spec.duration
-        load_end = window_end
+        load_end = self.load_end = window_end
         ack_grace = spec.ack_grace
+        if self._fluid_spec is not None:
+            self.fluid = FluidController(
+                sim, self, self._fluid_spec, fault_engine=self.fault_engine
+            )
+        fluid_ctl = self.fluid
         if spec.arrival is not None:
             # Report the pattern's mean offered rate over the window.
             result.target_rate = spec.arrival.mean_rate(
@@ -224,6 +246,11 @@ class WorkloadEngine:
                 )
             while sim.now < load_end:
                 yield tick
+                # Analytic span in progress: park on the gate; the fluid
+                # controller integrates the offered load meanwhile.
+                if fluid_ctl is not None and fluid_ctl.gate is not None:
+                    yield fluid_ctl.gate
+                    continue
                 # Open-loop generation, bounded: once the system is hopelessly
                 # behind (several seconds of unacked events), stop piling more
                 # into client queues — the run is already saturated, and this
@@ -275,8 +302,15 @@ class WorkloadEngine:
                 if observer is not None:
                     observer.on_ack(send_time, n, 0.0, False)
                 return
+            if fluid_ctl is not None and fluid_ctl.active:
+                # Pre-span in-flight sends draining mid-jump: the flow
+                # integration already accounts them (they are part of the
+                # baseline backlog), so counting here would double-book.
+                return
             counters.produced_events += n
             latency = sim.now - send_time
+            if fluid_ctl is not None and fluid_ctl.calibrating:
+                fluid_ctl.cal_samples.append((latency, n))
             if observer is not None:
                 observer.on_ack(send_time, n, latency, True)
             # An ack counts toward the measured rate only if the *ack* also
@@ -353,6 +387,8 @@ class WorkloadEngine:
             sim.process(probe_process())
         if self.series_interval is not None:
             sim.process(series_process())
+        if fluid_ctl is not None:
+            fluid_ctl.start()
         return self
 
     # ------------------------------------------------------------------
@@ -378,6 +414,14 @@ class WorkloadEngine:
         # spec alone — needed to align ``result.series`` samples).
         result.extra["window_start"] = self.window_start
         result.extra["window_end"] = self.window_end
+        fluid = self.fluid
+        if fluid is not None:
+            result.extra["fluid.spans"] = float(fluid.spans)
+            result.extra["fluid.time_s"] = fluid.fluid_time
+            result.extra["fluid.events_avoided"] = fluid.events_avoided
+            result.extra["fluid.recalibrations"] = float(fluid.recalibrations)
+            if fluid.refusal is not None:
+                result.extra["fluid.refusal"] = fluid.refusal
         return result
 
 
@@ -450,7 +494,7 @@ def run_workload(
         fault_engine.start()
     engine = WorkloadEngine(
         sim, adapter, spec, probe=probe, probe_interval=probe_interval,
-        series_interval=series_interval,
+        series_interval=series_interval, fault_engine=fault_engine,
     )
     engine.start()
     _drive(sim, [engine])
@@ -463,6 +507,9 @@ def run_workload(
             result.extra[key] = result.extra.get(key, 0.0) + 1.0
     if tracer is not None:
         tracer.stamp_fault_windows()
+        if engine.fluid is not None:
+            for start, end in engine.fluid.windows:
+                tracer.record_fluid_window(start, end)
         result.extra["trace.window_start"] = engine.window_start
         result.extra["trace.window_end"] = engine.window_end
         result.extra["trace.spans"] = float(len(tracer.spans))

@@ -405,9 +405,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--json", default=None, help="write the report here")
     parser.add_argument(
+        "--fluid", action="store_true",
+        help="opt every workload into hybrid fluid/discrete mode (sets "
+        "REPRO_FLUID for this process and its workers); scenarios the "
+        "fluid model cannot carry fall back to discrete automatically",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
+    if args.fluid:
+        os.environ["REPRO_FLUID"] = "1"
 
     if args.list:
         for name, scenario in SCENARIOS.items():

@@ -10,6 +10,7 @@ from repro.sim.core import (
     any_of,
 )
 from repro.sim.disk import Disk, DiskSpec, PageCache, PageCacheSpec
+from repro.sim.fluid import FluidController, FluidSpec
 from repro.sim.network import Host, Network, NetworkSpec
 from repro.sim.resources import FifoServer, Resource, Store
 
@@ -21,6 +22,8 @@ __all__ = [
     "Interrupt",
     "all_of",
     "any_of",
+    "FluidSpec",
+    "FluidController",
     "Disk",
     "DiskSpec",
     "PageCache",

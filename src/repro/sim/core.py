@@ -386,6 +386,7 @@ class Simulator:
         "_heap_peak",
         "_cancellations_skipped",
         "_compactions",
+        "_fluid_resources",
     )
 
     def __init__(self) -> None:
@@ -403,11 +404,30 @@ class Simulator:
         self._heap_peak = 0
         self._cancellations_skipped = 0
         self._compactions = 0
+        #: resources that opted into the fluid protocol (fluid_snapshot /
+        #: fluid_advance); registration is append-only and deterministic,
+        #: so the fluid controller's rate vectors line up across runs.
+        self._fluid_resources: list[Any] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- fluid-resource registry ---------------------------------------
+    def register_fluid(self, resource: Any) -> None:
+        """Enroll a resource in the fluid protocol (see ``sim/fluid.py``).
+
+        The resource must expose ``fluid_snapshot() -> tuple[float, ...]``
+        and ``fluid_advance(dt, rates)``.  Registration costs one list
+        append; resources that never meet a fluid controller pay nothing
+        else.
+        """
+        self._fluid_resources.append(resource)
+
+    @property
+    def fluid_resources(self) -> list:
+        return self._fluid_resources
 
     @property
     def stats(self) -> SimStats:

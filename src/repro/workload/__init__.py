@@ -12,7 +12,10 @@ Layers on top of the benchmark driver (``repro.bench``):
 * :mod:`~repro.workload.tenants` — N tenants, each with its own stream,
   pattern, event size and SLO, multiplexed through one simulation, plus
   scale-event/offered-load correlation;
-* :mod:`~repro.workload.faults` — fault-under-burst composition.
+* :mod:`~repro.workload.faults` — fault-under-burst composition;
+* :mod:`~repro.workload.fluid` — the cluster-scale fluid macroscope
+  (10^5-tenant diurnal populations modelled analytically, anchored by
+  hybrid fluid/discrete calibration probes — DESIGN.md §10).
 
 Import direction: workload imports bench, never the reverse — the
 driver only duck-types ``ArrivalProcess`` / ``KeySkew``.
@@ -31,6 +34,14 @@ from repro.workload.arrival import (
     Ramp,
 )
 from repro.workload.faults import fault_at_peak
+from repro.workload.fluid import (
+    FluidScaleModel,
+    ScaleCalibration,
+    ScaleReport,
+    ScaleSpec,
+    TenantClass,
+    calibrate_scale,
+)
 from repro.workload.skew import HotKeyChurn, KeyRouter, KeySkew, UniformSkew, ZipfSkew
 from repro.workload.slo import SloSpec, SloTracker, capacity_report
 from repro.workload.tenants import (
@@ -64,4 +75,10 @@ __all__ = [
     "run_tenants",
     "correlate_scale_events",
     "fault_at_peak",
+    "TenantClass",
+    "ScaleSpec",
+    "ScaleCalibration",
+    "ScaleReport",
+    "FluidScaleModel",
+    "calibrate_scale",
 ]

@@ -53,6 +53,8 @@ class TenantSpec:
     #: fixed-partition adapters)
     scaling: Optional[object] = None
     seed: int = 0
+    #: hybrid fluid/discrete mode for this tenant (repro.sim.fluid.FluidSpec)
+    fluid: Optional[object] = None
 
     def workload_spec(
         self, duration: float, warmup: float, tick: float, bench_hosts: int
@@ -71,6 +73,7 @@ class TenantSpec:
             arrival=self.arrival,
             key_skew=self.key_skew,
             seed=self.seed,
+            fluid=self.fluid,
         )
 
 
@@ -125,6 +128,7 @@ def run_tenants(
             observer=tracker,
             label=f"{getattr(adapter, 'name', 'bench')}/{tenant.name}",
             series_interval=series_interval,
+            fault_engine=fault_engine,
         )
         engine.start()
         trackers[tenant.name] = tracker
