@@ -1,12 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test
+.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## tier-1 tests followed by the benchmark regression gate's smoke
+## subset, with the gate verdict recorded into BENCH_capacity.json
+## metadata — the one-command pre-merge check
+check:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m repro.bench gate --record
 
 ## seeded crash-consistency fuzz across all three systems; failing
 ## schedules are dumped as replayable JSON under tests/data/
@@ -65,3 +72,30 @@ scale:
 ## units, headline cross-validation)
 fluid-test:
 	$(PYTHON) -m pytest -q -m fluid
+
+## full capacity map: max sustainable throughput per (system, config,
+## tenant mix), fluid-bracketed + discrete-confirmed; writes
+## BENCH_capacity.json (override: ONLY=pravega:mixed SEED=0)
+capacity:
+	$(PYTHON) benchmarks/bench_capacity.py --seed $(or $(SEED),0) \
+		$(if $(ONLY),--only $(ONLY))
+
+## capacity-planner smoke: one cheap point under a generous wall budget
+capacity-check:
+	$(PYTHON) benchmarks/bench_capacity.py --check
+
+## capacity-marked tier-1 tests only (search property tests, golden
+## 3-point fixture, fluid-vs-discrete probe agreement)
+capacity-test:
+	$(PYTHON) -m pytest -q -m capacity
+
+## benchmark regression gate: committed BENCH_*.json vs fresh smoke
+## re-runs, structured diff on drift
+## (override: SMOKE=none or SMOKE=suite:fig05c,capacity:kafka/mixed)
+gate:
+	$(PYTHON) -m repro.bench gate $(if $(SMOKE),--smoke $(SMOKE))
+
+## gate-marked tier-1 tests only (self-tests: committed files pass,
+## perturbed copies fail with the right structured diff)
+gate-test:
+	$(PYTHON) -m pytest -q -m gate

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Capacity map: max sustainable throughput per (system, tenant mix).
+
+Sweeps every registered system x tenant mix through
+:class:`repro.capacity.CapacityPlanner` — fluid-accelerated coarse
+bracketing, SLO-engine discrete confirmation at the boundary — and
+writes the capacity map as ``BENCH_capacity.json`` (``make capacity``).
+
+Per point the record carries: the found rate, the final bracket and its
+relative width, probe counts split by mode (fluid vs discrete), the
+full probe log, the confirming run's per-tenant SLO margins, wall time
+per mode, and the planner seed.  Everything except the ``wall_s`` block
+is deterministic at a fixed seed, which is what the regression gate
+(``python -m repro.bench gate``) compares.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_capacity.py            # full map
+    PYTHONPATH=src python benchmarks/bench_capacity.py --check    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_capacity.py --only pravega:mixed
+    PYTHONPATH=src python benchmarks/bench_capacity.py --json OUT
+
+``--check`` plans one cheap point under a generous wall-clock budget
+and exits non-zero on a blowout or an unconfirmed boundary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.capacity import (  # noqa: E402
+    MIXES,
+    SYSTEMS,
+    CapacityPlanner,
+    PlannerConfig,
+)
+
+DEFAULT_POINTS = [
+    f"{system}:{mix}" for system in SYSTEMS for mix in MIXES
+]
+
+
+def plan_point(name: str, config: PlannerConfig) -> Dict:
+    system, _, mix_name = name.partition(":")
+    if system not in SYSTEMS or mix_name not in MIXES:
+        raise SystemExit(
+            f"unknown point {name!r} (points are system:mix with systems "
+            f"{sorted(SYSTEMS)} and mixes {sorted(MIXES)})"
+        )
+    planner = CapacityPlanner(system, MIXES[mix_name], config)
+    return planner.plan().record()
+
+
+def _describe(record: Dict) -> str:
+    probes = record["probes"]
+    wall = record.get("wall_s", {})
+    return (
+        f"  {record['system']:8s} {record['mix']:8s} "
+        f"{record['rate_eps']:>12,.0f} eps  "
+        f"width {record['bracket_width_rel'] * 100:4.1f}%  "
+        f"probes {probes.get('fluid', 0)}F+{probes.get('discrete', 0)}D  "
+        f"margin {record['slo_margin']:+.3f}  "
+        f"{'confirmed' if record['confirmed'] else 'UNCONFIRMED'}  "
+        f"({wall.get('total', 0.0):.1f}s)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="smoke: one cheap point, generous wall budget, no JSON",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated system:mix points (default: full sweep)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_capacity.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    config = PlannerConfig(seed=args.seed)
+
+    if args.check:
+        budget = 120.0
+        start = time.perf_counter()
+        record = plan_point("pravega:uniform", config)
+        wall = time.perf_counter() - start
+        print(_describe(record))
+        if not record["confirmed"]:
+            print("capacity check FAILED: boundary not discrete-confirmed")
+            return 1
+        if not record["converged"]:
+            print("capacity check FAILED: bracket did not converge")
+            return 1
+        if wall > budget:
+            print(f"capacity check FAILED: {wall:.1f}s exceeds {budget:.0f}s budget")
+            return 1
+        print(f"capacity check ok ({wall:.1f}s)")
+        return 0
+
+    names = (
+        [t.strip() for t in args.only.split(",") if t.strip()]
+        if args.only
+        else list(DEFAULT_POINTS)
+    )
+    print(f"planning {len(names)} capacity points (seed {args.seed})")
+    points: List[Dict] = []
+    start = time.perf_counter()
+    for name in names:
+        record = plan_point(name, config)
+        points.append(record)
+        print(_describe(record))
+    wall = time.perf_counter() - start
+
+    report = {
+        "python": platform.python_version(),
+        "seed": args.seed,
+        "rel_tol": config.rel_tol,
+        "slo_window_s": config.duration,
+        "wall_s_total": round(wall, 3),
+        "points": points,
+    }
+    out = os.path.abspath(args.json)
+    # `make check` stamps its gate verdict into this file's metadata;
+    # keep an existing verdict when regenerating the map in place.
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                previous = json.load(fh)
+            if isinstance(previous, dict) and "gate" in previous:
+                report["gate"] = previous["gate"]
+        except (OSError, ValueError):
+            pass
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out} ({len(points)} points, {wall:.1f}s)")
+    unconfirmed = [p for p in points if not p["confirmed"]]
+    return 1 if unconfirmed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -105,9 +105,14 @@ def main(argv=None) -> int:
 
 if __name__ == "__main__":
     # `python -m repro.bench suite ...` delegates to the parallel
-    # figure-suite runner; everything else is the trace CLI above.
+    # figure-suite runner, `... gate ...` to the benchmark regression
+    # gate; everything else is the trace CLI above.
     if len(sys.argv) > 1 and sys.argv[1] == "suite":
         from repro.bench.suite import main as suite_main
 
         sys.exit(suite_main(sys.argv[2:]))
+    if len(sys.argv) > 1 and sys.argv[1] == "gate":
+        from repro.bench.gate import main as gate_main
+
+        sys.exit(gate_main(sys.argv[2:]))
     sys.exit(main())

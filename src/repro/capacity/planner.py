@@ -1,0 +1,394 @@
+"""Sim-backed capacity planning: (system, config, tenant mix) -> rate.
+
+The planner wires :func:`repro.capacity.search.find_sustainable_rate`
+to the real stack:
+
+* the **bracketing oracle** collapses the tenant mix into one aggregate
+  constant-rate workload and runs it in hybrid fluid/discrete mode
+  (:meth:`FluidSpec.probe`), so each coarse probe costs roughly one
+  fluid calibration instead of a full discrete run.  The fluid model is
+  conservative near saturation (its backlog ODE charges queueing delay
+  the moment admitted exceeds flushed), so fluid brackets lean low —
+  never silently high;
+* the **confirming oracle** runs the true multi-tenant mix discretely
+  through ``run_tenants`` and judges it with the SLO engine
+  (:func:`repro.workload.slo.sustainable_verdict`): error-budget burn,
+  latency-window compliance, and the load-timeout backlog signal.
+  Every boundary decision in a committed capacity map is discrete.
+
+Probes are seeded through the ``TenantSpec`` seeds only — the sim is
+deterministic — so the same planner config regenerates the same
+capacity point byte for byte (the golden-fixture contract).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.adapters import KafkaAdapter, PravegaAdapter, PulsarAdapter
+from repro.bench.runner import WorkloadSpec, run_workload
+from repro.capacity.search import Probe, SearchResult, find_sustainable_rate
+from repro.sim.core import Simulator
+from repro.sim.fluid import FluidSpec
+from repro.workload.arrival import Poisson
+from repro.workload.skew import ZipfSkew
+from repro.workload.slo import SloSpec, sustainable_verdict
+from repro.workload.tenants import TenantSpec, run_tenants
+
+__all__ = [
+    "MixTenant",
+    "TenantMix",
+    "PlannerConfig",
+    "CapacityPoint",
+    "CapacityPlanner",
+    "plan_capacity",
+    "SYSTEMS",
+    "MIXES",
+]
+
+
+# ----------------------------------------------------------------------
+# Systems under test
+# ----------------------------------------------------------------------
+SYSTEMS: Dict[str, Tuple[Callable[[Simulator], object], str]] = {
+    # name -> (adapter factory, config label recorded per point)
+    "pravega": (lambda sim: PravegaAdapter(sim, journal_sync=True), "journal-sync"),
+    "kafka": (lambda sim: KafkaAdapter(sim, flush_every_message=False), "no-flush"),
+    "pulsar": (lambda sim: PulsarAdapter(sim), "default"),
+}
+
+
+# ----------------------------------------------------------------------
+# Tenant mixes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MixTenant:
+    """One component of a tenant mix; ``weight`` is its share of the
+    probed aggregate rate."""
+
+    name: str
+    weight: float
+    event_size: int = 100
+    partitions: int = 1
+    producers: int = 1
+    #: "constant" or "poisson" — capacity probes need steady arrivals
+    #: (a shaped pattern would own the rate the search is probing)
+    arrival: str = "constant"
+    #: Zipf exponent for key popularity; None = uniform random keys
+    zipf: Optional[float] = None
+    slo: SloSpec = field(default_factory=SloSpec)
+
+    def tenant_spec(self, rate: float, seed: int) -> TenantSpec:
+        share = rate * self.weight
+        return TenantSpec(
+            name=self.name,
+            arrival=Poisson(share) if self.arrival == "poisson" else None,
+            target_rate=share,
+            event_size=self.event_size,
+            partitions=self.partitions,
+            producers=self.producers,
+            consumers=0,
+            key_skew=ZipfSkew(s=self.zipf) if self.zipf is not None else None,
+            slo=self.slo,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """A named tenant population whose capacity is one map point."""
+
+    name: str
+    tenants: Tuple[MixTenant, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(t.weight for t in self.tenants)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mix {self.name!r} weights sum to {total}, not 1")
+
+    def tenant_specs(self, rate: float, seed: int) -> List[TenantSpec]:
+        return [
+            t.tenant_spec(rate, seed * 1000 + i)
+            for i, t in enumerate(self.tenants)
+        ]
+
+    # -- aggregate view for the fluid bracketing probe -----------------
+    @property
+    def aggregate_event_size(self) -> int:
+        return max(1, round(sum(t.weight * t.event_size for t in self.tenants)))
+
+    @property
+    def total_partitions(self) -> int:
+        return sum(t.partitions for t in self.tenants)
+
+    @property
+    def total_producers(self) -> int:
+        return sum(t.producers for t in self.tenants)
+
+    @property
+    def strictest_p99(self) -> float:
+        return min(t.slo.p99_latency for t in self.tenants)
+
+    @property
+    def strictest_availability(self) -> float:
+        return max(t.slo.availability for t in self.tenants)
+
+
+MIXES: Dict[str, TenantMix] = {
+    # One tenant, uniform keys, the paper's 100-byte events: the
+    # classic single-stream sustainable-throughput question.
+    "uniform": TenantMix(
+        "uniform",
+        (
+            MixTenant(
+                "solo", 1.0, event_size=100, partitions=4,
+                slo=SloSpec(p99_latency=0.025),
+            ),
+        ),
+    ),
+    # Three-way multi-tenant mix: bursty small events on skewed keys,
+    # a steady mid-size tenant, and a bulk tenant with large events —
+    # the "many small streams" regime the SLO engine was built for.
+    "mixed": TenantMix(
+        "mixed",
+        (
+            MixTenant(
+                "burst", 0.25, event_size=100, partitions=2,
+                arrival="poisson", zipf=1.0,
+                slo=SloSpec(p99_latency=0.050),
+            ),
+            MixTenant(
+                "steady", 0.50, event_size=500, partitions=2,
+                slo=SloSpec(p99_latency=0.050),
+            ),
+            MixTenant(
+                "bulk", 0.25, event_size=1000, partitions=1,
+                slo=SloSpec(p99_latency=0.100),
+            ),
+        ),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Search budget and probe shape for one capacity point."""
+
+    #: measured window of every discrete probe (simulated seconds)
+    duration: float = 1.0
+    warmup: float = 0.25
+    #: fluid bracketing probes run longer — the calibration cost is
+    #: fixed, so a longer window amortizes it into a bigger speedup
+    fluid_duration: float = 2.0
+    fluid_warmup: float = 0.4
+    #: search range and resolution
+    start: float = 250_000.0
+    floor: float = 1_000.0
+    cap: float = 16_000_000.0
+    growth: float = 2.0
+    rel_tol: float = 0.05
+    max_probes: int = 48
+    #: fluid-accelerate the coarse bracket (False = all-discrete search)
+    fluid_bracket: bool = True
+    seed: int = 0
+
+
+@dataclass
+class CapacityPoint:
+    """One entry of the capacity map."""
+
+    system: str
+    config: str
+    mix: str
+    #: max sustainable aggregate rate (events/s), discrete-confirmed
+    rate: float
+    bracket: Tuple[float, float]
+    width_rel: float
+    converged: bool
+    confirmed: bool
+    #: SLO margin of the final feasible (confirming) probe
+    slo_margin: float
+    probes: Dict[str, int]
+    probe_log: List[Dict[str, object]]
+    slo: Dict[str, object]
+    seed: int
+    wall_s: Dict[str, float]
+
+    def record(self, include_wall: bool = True) -> Dict[str, object]:
+        """JSON record; ``include_wall=False`` yields the deterministic
+        view (the golden-fixture / regression-gate comparison fields)."""
+        out: Dict[str, object] = {
+            "system": self.system,
+            "config": self.config,
+            "mix": self.mix,
+            "rate_eps": round(self.rate, 3),
+            "bracket_eps": [round(self.bracket[0], 3), round(self.bracket[1], 3)],
+            "bracket_width_rel": round(self.width_rel, 6),
+            "converged": self.converged,
+            "confirmed": self.confirmed,
+            "slo_margin": round(self.slo_margin, 6),
+            "probes": dict(self.probes),
+            "probe_log": self.probe_log,
+            "slo": self.slo,
+            "seed": self.seed,
+        }
+        if include_wall:
+            out["wall_s"] = {k: round(v, 3) for k, v in self.wall_s.items()}
+        return out
+
+
+class CapacityPlanner:
+    """Find the max sustainable rate for one (system, mix) pair."""
+
+    def __init__(
+        self, system: str, mix: TenantMix, config: PlannerConfig = PlannerConfig()
+    ) -> None:
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r} (known: {sorted(SYSTEMS)})")
+        self.system = system
+        self.make_adapter, self.config_label = SYSTEMS[system]
+        self.mix = mix
+        self.config = config
+        self.wall: Dict[str, float] = {"fluid": 0.0, "discrete": 0.0}
+        self._last_verdict: Dict[str, object] = {}
+
+    # -- oracles -------------------------------------------------------
+    def fluid_probe(self, rate: float) -> Probe:
+        """Aggregate-workload probe in hybrid fluid/discrete mode."""
+        cfg = self.config
+        start = time.perf_counter()
+        sim = Simulator()
+        adapter = self.make_adapter(sim)
+        spec = WorkloadSpec(
+            event_size=self.mix.aggregate_event_size,
+            target_rate=rate,
+            partitions=self.mix.total_partitions,
+            producers=self.mix.total_producers,
+            consumers=0,
+            duration=cfg.fluid_duration,
+            warmup=cfg.fluid_warmup,
+            seed=cfg.seed,
+            fluid=FluidSpec.probe() if cfg.fluid_bracket else None,
+        )
+        result = run_workload(sim, adapter, spec)
+        wall = time.perf_counter() - start
+        self.wall["fluid"] += wall
+        offered = rate * cfg.fluid_duration
+        frac = result.produce_rate / rate if rate > 0 else 1.0
+        p99 = result.write_latency.p99
+        p99 = p99 if p99 == p99 else float("inf")  # NaN -> worst case
+        p99_target = self.mix.strictest_p99
+        avail_req = self.mix.strictest_availability
+        margin = min(
+            (p99_target - p99) / p99_target,
+            (frac - avail_req) / max(1.0 - avail_req, 1e-9),
+        )
+        if result.crashed or result.extra.get("load_timed_out"):
+            margin = min(margin, -1.0)
+        return Probe(
+            rate=rate,
+            feasible=margin > 0.0 and not result.saturated,
+            margin=round(margin, 6),
+            mode="fluid",
+            wall_s=wall,
+            detail={
+                "produce_eps": round(result.produce_rate, 3),
+                "write_p99_ms": round(p99 * 1e3, 4),
+                "offered_events": round(offered, 1),
+                "fluid_spans": result.extra.get("fluid.spans", 0.0),
+                "fluid_refusal": result.extra.get("fluid.refusal"),
+            },
+        )
+
+    def discrete_probe(self, rate: float) -> Probe:
+        """True-mix discrete run judged by the SLO engine."""
+        cfg = self.config
+        start = time.perf_counter()
+        sim = Simulator()
+        adapter = self.make_adapter(sim)
+        tenants = self.mix.tenant_specs(rate, cfg.seed + 7)
+        result = run_tenants(
+            sim, adapter, tenants,
+            duration=cfg.duration, warmup=cfg.warmup, series_interval=None,
+        )
+        wall = time.perf_counter() - start
+        self.wall["discrete"] += wall
+        verdict = sustainable_verdict(result, tenants)
+        self._last_verdict = {
+            "margins": {k: round(v, 6) for k, v in verdict["margins"].items()},
+            "min_headroom": round(verdict["min_headroom"], 6),
+            "completed": verdict["completed"],
+            "crashed": verdict["crashed"],
+        }
+        return Probe(
+            rate=rate,
+            feasible=bool(verdict["feasible"]),
+            margin=round(float(verdict["margin"]), 6),
+            mode="discrete",
+            wall_s=wall,
+            detail=dict(self._last_verdict),
+        )
+
+    # -- planning ------------------------------------------------------
+    def plan(self) -> CapacityPoint:
+        cfg = self.config
+        start = time.perf_counter()
+        search = find_sustainable_rate(
+            self.fluid_probe if cfg.fluid_bracket else self.discrete_probe,
+            start=cfg.start,
+            floor=cfg.floor,
+            cap=cfg.cap,
+            growth=cfg.growth,
+            rel_tol=cfg.rel_tol,
+            confirm=self.discrete_probe,
+            max_probes=cfg.max_probes,
+        )
+        total = time.perf_counter() - start
+        slo_detail: Dict[str, object] = {}
+        for probe in reversed(search.probes):
+            if probe.mode == "discrete" and probe.rate == search.rate:
+                slo_detail = dict(probe.detail)
+                break
+        return CapacityPoint(
+            system=self.system,
+            config=self.config_label,
+            mix=self.mix.name,
+            rate=search.rate,
+            bracket=search.bracket,
+            width_rel=search.width_rel,
+            converged=search.converged,
+            confirmed=search.confirmed,
+            slo_margin=search.margin,
+            probes=search.probes_by_mode(),
+            probe_log=[
+                {
+                    "rate_eps": round(p.rate, 3),
+                    "feasible": p.feasible,
+                    "margin": p.margin,
+                    "mode": p.mode,
+                }
+                for p in search.probes
+            ],
+            slo=slo_detail,
+            seed=cfg.seed,
+            wall_s={**{k: round(v, 3) for k, v in self.wall.items()},
+                    "total": round(total, 3)},
+        )
+
+
+def plan_capacity(
+    system: str,
+    mix: "TenantMix | str",
+    config: PlannerConfig = PlannerConfig(),
+) -> CapacityPoint:
+    """One-call capacity point: resolves a mix name and plans it."""
+    if isinstance(mix, str):
+        if mix not in MIXES:
+            raise ValueError(f"unknown mix {mix!r} (known: {sorted(MIXES)})")
+        mix = MIXES[mix]
+    return CapacityPlanner(system, mix, config).plan()

@@ -88,6 +88,35 @@ class FluidSpec:
     #: resolution of the resampled calibration latency distribution
     quantile_points: int = 129
 
+    @classmethod
+    def probe(cls) -> "FluidSpec":
+        """Knobs tuned for capacity-planner bracketing probes.
+
+        A bracketing probe only needs the feasibility *sign* at one
+        offered rate, not a faithful latency distribution, so it trades
+        calibration fidelity for wall clock: the shortest trustworthy
+        settle/calibration slices, long analytic strides, and a relaxed
+        stationarity gate (a saturating probe is *expected* to drift —
+        rejecting its calibration would forfeit the speedup exactly
+        where the planner probes most).  Boundary decisions must not
+        use this: the planner hands the bracket off to discrete-mode
+        confirmation runs (DESIGN.md §11).
+
+        ``settle_time`` stays at the default: calibrating before the
+        first batches and fsync pipelines have warmed measures a low
+        ``lambda`` and the whole analytic span under-produces — a probe
+        would then read "infeasible" at rates the system holds easily.
+        """
+        return cls(
+            calibration_time=0.15,
+            min_calibration_time=0.04,
+            calibration_target_samples=1000.0,
+            step=0.5,
+            min_jump=0.25,
+            stationarity_tol=0.35,
+            max_recalibrations=4,
+        )
+
 
 class _Calibration:
     """Everything one calibration slice measured."""

@@ -43,7 +43,13 @@ from repro.workload.fluid import (
     calibrate_scale,
 )
 from repro.workload.skew import HotKeyChurn, KeyRouter, KeySkew, UniformSkew, ZipfSkew
-from repro.workload.slo import SloSpec, SloTracker, capacity_report
+from repro.workload.slo import (
+    SloSpec,
+    SloTracker,
+    capacity_report,
+    slo_margin,
+    sustainable_verdict,
+)
 from repro.workload.tenants import (
     MultiTenantResult,
     TenantSpec,
@@ -70,6 +76,8 @@ __all__ = [
     "SloSpec",
     "SloTracker",
     "capacity_report",
+    "slo_margin",
+    "sustainable_verdict",
     "TenantSpec",
     "MultiTenantResult",
     "run_tenants",

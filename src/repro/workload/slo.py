@@ -26,7 +26,13 @@ from typing import Dict, List, Optional
 
 from repro.common.metrics import percentile
 
-__all__ = ["SloSpec", "SloTracker", "capacity_report"]
+__all__ = [
+    "SloSpec",
+    "SloTracker",
+    "capacity_report",
+    "slo_margin",
+    "sustainable_verdict",
+]
 
 
 @dataclass(frozen=True)
@@ -132,6 +138,64 @@ class SloTracker:
     def emit(self, extra: Dict[str, float], prefix: str = "slo.") -> None:
         for key, value in self.report().items():
             extra[f"{prefix}{key}"] = value
+
+
+def slo_margin(report: Dict[str, float], spec: SloSpec) -> float:
+    """Signed SLO headroom of one tenant report, in budget units.
+
+    The margin is the minimum of two normalized slacks:
+
+    * **error budget** — ``1 - burn_rate``: 0 means the availability
+      budget is exactly spent, negative means overspent;
+    * **latency compliance** — the compliance surplus over the target,
+      normalized by the allowed bad-window fraction, so "one spare bad
+      window" scores comparably to "one spare nine".
+
+    Feasibility for the capacity planner is ``margin > 0``; the value
+    itself is the distance to the SLO boundary, which the planner
+    records per probe so a capacity map shows *how close* each found
+    rate sits to the cliff.
+    """
+    budget_slack = 1.0 - report.get("burn_rate", 0.0)
+    required = spec.latency_compliance
+    allowed_bad = max(1.0 - required, 1e-9)
+    latency_slack = (report.get("latency_compliance", 1.0) - required) / allowed_bad
+    return min(budget_slack, latency_slack)
+
+
+def sustainable_verdict(result, tenants) -> Dict[str, object]:
+    """Feasibility verdict for one multi-tenant probe run.
+
+    ``result`` is a :class:`~repro.workload.tenants.MultiTenantResult`;
+    ``tenants`` the ``TenantSpec`` sequence that produced it.  A rate is
+    *sustainable* (Karimov et al.'s definition) when every tenant's SLO
+    held, no backend crashed, and the run completed without hitting its
+    load timeout — the timeout is the "unbounded backlog" signal: an
+    open loop that cannot drain its backlog cap never finishes load
+    generation.
+    """
+    margins: Dict[str, float] = {}
+    crashed = False
+    for tenant in tenants:
+        report = result.slo[tenant.name]
+        margins[tenant.name] = slo_margin(report, tenant.slo)
+        crashed = crashed or result.results[tenant.name].crashed
+    margin = min(margins.values()) if margins else 0.0
+    if not result.completed:
+        # backlog never drained: the violation is at least a full budget
+        margin = min(margin, -1.0)
+    if crashed:
+        margin = min(margin, -1.0)
+    feasible = result.completed and not crashed and margin > 0.0
+    headrooms = [c["headroom"] for c in result.capacity.values()]
+    return {
+        "feasible": feasible,
+        "margin": margin,
+        "margins": margins,
+        "completed": result.completed,
+        "crashed": crashed,
+        "min_headroom": min(headrooms) if headrooms else 1.0,
+    }
 
 
 def capacity_report(tenant_reports: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:

@@ -1,0 +1,224 @@
+"""Regression-gate self-tests: the gate's teeth, demonstrated.
+
+(a) the gate passes on the repo's committed BENCH_*.json files;
+(b) it fails with the *right* structured diff when wall-time,
+    kernel-event and figure-metric fields are synthetically perturbed;
+(c) per-metric tolerance overrides change the verdict.
+
+The comparison layer is exercised directly (no re-runs), so these run
+in tier-1 in milliseconds; one real smoke re-run (`suite:table1`, a
+6 ms scenario) keeps the full loop honest.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.gate import (
+    WALL_RATIO,
+    compare,
+    load_bench_files,
+    main as gate_main,
+    resolve_tolerance,
+    run_gate,
+    structure_checks,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+pytestmark = pytest.mark.gate
+
+
+@pytest.fixture(scope="module")
+def committed():
+    files = load_bench_files(REPO_ROOT)
+    assert files, "no committed BENCH_*.json files found"
+    return files
+
+
+def _suite_record(files, name):
+    for record in files["BENCH_suite.json"]["runs"]["jobs_1"]["scenarios"]:
+        if record["name"] == name:
+            return record
+    raise AssertionError(f"scenario {name} not in BENCH_suite.json")
+
+
+# ----------------------------------------------------------------------
+# (a) committed files pass
+# ----------------------------------------------------------------------
+def test_structure_checks_pass_on_committed_files(committed):
+    drifts = structure_checks(committed)
+    assert drifts == []
+
+
+def test_committed_records_compare_clean_against_themselves(committed):
+    for fname, report in committed.items():
+        assert compare(fname, "", report, copy.deepcopy(report)) == []
+
+
+def test_gate_passes_without_reruns_on_this_repo():
+    report = run_gate(REPO_ROOT, smoke="none")
+    assert report.ok, [d.as_dict() for d in report.drifts]
+    assert set(report.files) >= {
+        "BENCH_kernel.json",
+        "BENCH_suite.json",
+        "BENCH_workload.json",
+        "BENCH_scale.json",
+        "BENCH_capacity.json",
+    }
+
+
+def test_gate_cli_passes_with_cheap_smoke(capsys):
+    rc = gate_main(["--root", str(REPO_ROOT), "--smoke", "suite:table1"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "gate: ok" in out
+
+
+# ----------------------------------------------------------------------
+# (b) perturbed copies fail with the right structured diff
+# ----------------------------------------------------------------------
+def test_perturbed_wall_time_fails_as_wall_kind(committed):
+    base = _suite_record(committed, "fig05a")
+    bad = copy.deepcopy(base)
+    bad["wall_s"] = base["wall_s"] * (WALL_RATIO * 10)
+    drifts = compare("BENCH_suite.json", "scenarios[fig05a]", base, bad)
+    assert len(drifts) == 1
+    drift = drifts[0]
+    assert drift.kind == "wall"
+    assert drift.path.endswith("wall_s")
+    assert drift.drift > WALL_RATIO
+    assert drift.tolerance == WALL_RATIO
+
+
+def test_wall_time_within_allowance_passes(committed):
+    base = _suite_record(committed, "fig05a")
+    ok = copy.deepcopy(base)
+    ok["wall_s"] = base["wall_s"] * 2.0  # different machine, same order
+    assert compare("BENCH_suite.json", "scenarios[fig05a]", base, ok) == []
+
+
+def test_perturbed_kernel_events_fails_exactly(committed):
+    base = _suite_record(committed, "fig05a")
+    bad = copy.deepcopy(base)
+    bad["kernel_events"] = base["kernel_events"] + 1
+    drifts = compare("BENCH_suite.json", "scenarios[fig05a]", base, bad)
+    assert [d.kind for d in drifts] == ["exact"]
+    assert drifts[0].path.endswith("kernel_events")
+    assert drifts[0].committed == base["kernel_events"]
+    assert drifts[0].fresh == base["kernel_events"] + 1
+    assert drifts[0].tolerance == 0.0
+
+
+def test_perturbed_figure_metric_fails(committed):
+    base = _suite_record(committed, "fig05a")
+    bad = copy.deepcopy(base)
+    bad["metrics"]["pravega_flush_max_eps"] *= 1.01  # a silent 1% rot
+    drifts = compare("BENCH_suite.json", "scenarios[fig05a]", base, bad)
+    assert len(drifts) == 1
+    assert drifts[0].path.endswith("metrics.pravega_flush_max_eps")
+    assert drifts[0].drift == pytest.approx(0.01, rel=1e-6)
+
+
+def test_missing_and_extra_metric_fields_are_reported(committed):
+    base = _suite_record(committed, "fig05a")
+    bad = copy.deepcopy(base)
+    del bad["metrics"]["pravega_flush_max_eps"]
+    bad["metrics"]["novel_metric"] = 1.0
+    kinds = {d.kind for d in compare("f", "s", base, bad)}
+    assert kinds == {"missing", "extra"}
+
+
+def test_perturbed_capacity_rate_fails(committed):
+    base = committed["BENCH_capacity.json"]["points"][0]
+    committed_view = {k: v for k, v in base.items() if k != "wall_s"}
+    bad = copy.deepcopy(committed_view)
+    bad["rate_eps"] *= 0.9  # capacity regression: 10% lower found rate
+    drifts = compare("BENCH_capacity.json", "points[0]", committed_view, bad)
+    paths = {d.path for d in drifts}
+    assert "points[0].rate_eps" in paths
+
+
+def test_structure_check_rejects_thin_or_unconfirmed_capacity(committed):
+    files = copy.deepcopy(committed)
+    files["BENCH_capacity.json"]["points"] = files["BENCH_capacity.json"]["points"][:2]
+    drifts = structure_checks(files)
+    assert any(d.path == "points" and d.kind == "structure" for d in drifts)
+
+    files = copy.deepcopy(committed)
+    files["BENCH_capacity.json"]["points"][0]["confirmed"] = False
+    drifts = structure_checks(files)
+    assert any("confirmed" in d.path for d in drifts)
+
+
+def test_structure_check_rejects_failed_suite_scenario(committed):
+    files = copy.deepcopy(committed)
+    files["BENCH_suite.json"]["runs"]["jobs_1"]["scenarios"][0]["ok"] = False
+    drifts = structure_checks(files)
+    assert any(d.path.endswith(".ok") for d in drifts)
+
+
+def test_cross_file_disagreement_is_reported(committed):
+    files = copy.deepcopy(committed)
+    files["BENCH_workload.json"]["scenarios"][0]["kernel_events"] += 1
+    # keep the suite's twin untouched: the two files now disagree
+    drifts = structure_checks(files)
+    assert any(
+        "kernel_events" in d.path and d.file == "BENCH_workload.json"
+        for d in drifts
+    )
+
+
+def test_gate_fails_end_to_end_on_perturbed_copy(tmp_path, committed):
+    for fname, report in committed.items():
+        bad = copy.deepcopy(report)
+        if fname == "BENCH_capacity.json":
+            bad["points"][0]["confirmed"] = False
+        (tmp_path / fname).write_text(json.dumps(bad))
+    report = run_gate(tmp_path, smoke="none")
+    assert not report.ok
+    assert any("confirmed" in d.path for d in report.drifts)
+    # the structured diff names the file, the path and the expectation
+    drift = next(d for d in report.drifts if "confirmed" in d.path)
+    assert drift.file == "BENCH_capacity.json"
+    assert drift.kind == "structure"
+
+
+# ----------------------------------------------------------------------
+# (c) per-metric tolerance overrides
+# ----------------------------------------------------------------------
+def test_tolerance_override_relaxes_a_metric(committed):
+    base = _suite_record(committed, "fig05a")
+    bad = copy.deepcopy(base)
+    bad["metrics"]["pravega_flush_max_eps"] *= 1.01
+    assert compare("f", "s", base, bad) != []
+    assert compare(
+        "f", "s", base, bad, overrides=[("*pravega_flush_max_eps", 0.05)]
+    ) == []
+
+
+def test_tolerance_override_tightens_wall(committed):
+    base = _suite_record(committed, "fig05a")
+    bad = copy.deepcopy(base)
+    bad["wall_s"] = base["wall_s"] * 5.0
+    assert compare("f", "s", base, bad) == []  # inside the default 10x
+    drifts = compare("f", "s", base, bad, overrides=[("*wall_s", 2.0)])
+    assert [d.kind for d in drifts] == ["wall"]
+    assert drifts[0].tolerance == 2.0
+
+
+def test_first_matching_override_wins():
+    assert resolve_tolerance("metrics.p99_ms", [("metrics.*", 0.1), ("*", 0.5)]) == (
+        "metric", 0.1,
+    )
+    assert resolve_tolerance("metrics.p99_ms", [("nomatch.*", 0.1)]) == ("exact", 0.0)
+    # wall fields keep ratio semantics under overrides
+    assert resolve_tolerance("scenarios[x].wall_s", [("*wall_s", 3.0)]) == ("wall", 3.0)
+
+
+def test_nan_metrics_compare_equal():
+    assert compare("f", "s", {"m": float("nan")}, {"m": float("nan")}) == []

@@ -1,0 +1,242 @@
+"""Capacity planner: search properties, golden fixture, probe agreement.
+
+Three layers:
+
+* **search properties** — for any monotone feasibility oracle with its
+  threshold inside ``[floor, cap]`` the bracket converges: the found
+  rate is feasible, the bracket's upper end is infeasible, and the
+  relative width is within tolerance.  The confirmation handoff must
+  recover from a cheap oracle that is biased low, biased high, or
+  flatly wrong in either direction.
+* **golden fixture** — ``tests/data/golden_capacity.json`` regenerates
+  byte for byte at the fixed seed (the golden kernel/trace contract).
+* **probe agreement** — the fluid bracketing probe and the discrete
+  SLO-engine probe must agree on two committed capacity points: same
+  feasibility verdict comfortably inside/outside the found rate, and
+  produce-rate agreement within tolerance at a feasible rate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from golden_capacity import GOLDEN_CONFIG, build_capacity_map, render
+
+from repro.capacity import (
+    MIXES,
+    CapacityPlanner,
+    PlannerConfig,
+    Probe,
+    find_sustainable_rate,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_PATH = os.path.join(DATA_DIR, "golden_capacity.json")
+
+pytestmark = pytest.mark.capacity
+
+
+def monotone_oracle(threshold: float, mode: str = "synthetic"):
+    """Feasible iff rate <= threshold; margin is the signed distance."""
+
+    def oracle(rate: float) -> Probe:
+        margin = (threshold - rate) / threshold
+        return Probe(rate=rate, feasible=rate <= threshold, margin=margin, mode=mode)
+
+    return oracle
+
+
+# ----------------------------------------------------------------------
+# Search properties
+# ----------------------------------------------------------------------
+class TestSearchProperties:
+    @pytest.mark.parametrize("threshold", [17.0, 1_234.5, 98_765.0, 4.2e6])
+    @pytest.mark.parametrize("start", [10.0, 5_000.0, 9e6])
+    def test_monotone_oracle_converges(self, threshold, start):
+        rel_tol = 0.05
+        result = find_sustainable_rate(
+            monotone_oracle(threshold),
+            start=start, floor=1.0, cap=1e7, rel_tol=rel_tol,
+        )
+        lo, hi = result.bracket
+        assert result.converged
+        assert result.rate == lo
+        # the found rate is feasible, the bracket's far end is not
+        assert lo <= threshold < hi
+        assert result.width_rel <= rel_tol
+        # margins carried through from the oracle
+        assert result.margin >= 0.0
+
+    @pytest.mark.parametrize("growth", [1.3, 2.0, 4.0])
+    def test_growth_rates_all_converge(self, growth):
+        result = find_sustainable_rate(
+            monotone_oracle(50_000.0),
+            start=1_000.0, floor=10.0, cap=1e7, growth=growth, rel_tol=0.05,
+        )
+        assert result.converged
+        assert result.bracket[0] <= 50_000.0 < result.bracket[1]
+
+    def test_probe_count_is_logarithmic(self):
+        result = find_sustainable_rate(
+            monotone_oracle(3_333_333.0),
+            start=1_000.0, floor=1.0, cap=1e7, rel_tol=0.02,
+        )
+        # ~log2(cap/start) bracketing + ~log2(bracket/tol) bisection
+        assert result.converged
+        assert result.probe_count <= 2 * (
+            math.log(1e7 / 1_000.0, 2) + math.log(2 / 0.02, 2)
+        )
+
+    def test_threshold_below_floor_reports_zero(self):
+        result = find_sustainable_rate(
+            monotone_oracle(0.5), start=100.0, floor=10.0, cap=1e6,
+        )
+        assert result.rate == 0.0
+        assert not result.converged
+
+    def test_threshold_above_cap_reports_cap(self):
+        result = find_sustainable_rate(
+            monotone_oracle(1e9), start=100.0, floor=10.0, cap=1e6,
+        )
+        assert result.rate == 1e6
+        assert result.converged  # feasible at the cap is an answer
+
+    def test_probe_budget_respected(self):
+        result = find_sustainable_rate(
+            monotone_oracle(123_456.0),
+            start=1.0, floor=1.0, cap=1e9, rel_tol=1e-6, max_probes=5,
+        )
+        assert result.probe_count <= 5
+        assert not result.converged
+
+    def test_probe_cache_avoids_duplicate_rates(self):
+        seen = []
+
+        def oracle(rate: float) -> Probe:
+            seen.append(rate)
+            return monotone_oracle(10_000.0)(rate)
+
+        find_sustainable_rate(oracle, start=100.0, floor=1.0, cap=1e6)
+        assert len(seen) == len(set(seen))
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            find_sustainable_rate(monotone_oracle(10.0), start=5.0, floor=10.0, cap=100.0)
+        with pytest.raises(ValueError):
+            find_sustainable_rate(monotone_oracle(10.0), start=50.0, floor=1.0, cap=10.0)
+        with pytest.raises(ValueError):
+            find_sustainable_rate(
+                monotone_oracle(10.0), start=5.0, floor=1.0, cap=100.0, growth=1.0
+            )
+
+
+class TestConfirmationHandoff:
+    """The cheap oracle brackets; the confirming oracle decides."""
+
+    @pytest.mark.parametrize("cheap_threshold", [40_000.0, 100_000.0, 250_000.0])
+    def test_confirm_overrides_biased_cheap_oracle(self, cheap_threshold):
+        true_threshold = 100_000.0
+        result = find_sustainable_rate(
+            monotone_oracle(cheap_threshold, mode="fluid"),
+            start=1_000.0, floor=100.0, cap=1e7, rel_tol=0.05,
+            confirm=monotone_oracle(true_threshold, mode="discrete"),
+        )
+        assert result.confirmed
+        assert result.converged
+        assert result.bracket[0] <= true_threshold < result.bracket[1]
+        assert result.width_rel <= 0.05
+
+    def test_confirm_recovers_from_always_infeasible_cheap_oracle(self):
+        def pessimist(rate: float) -> Probe:
+            return Probe(rate=rate, feasible=False, margin=-1.0, mode="fluid")
+
+        result = find_sustainable_rate(
+            pessimist, start=1_000.0, floor=100.0, cap=1e7, rel_tol=0.05,
+            confirm=monotone_oracle(100_000.0, mode="discrete"),
+        )
+        assert result.confirmed
+        assert result.bracket[0] <= 100_000.0 < result.bracket[1]
+
+    def test_confirm_recovers_from_always_feasible_cheap_oracle(self):
+        def optimist(rate: float) -> Probe:
+            return Probe(rate=rate, feasible=True, margin=1.0, mode="fluid")
+
+        result = find_sustainable_rate(
+            optimist, start=1_000.0, floor=100.0, cap=1e7, rel_tol=0.05,
+            confirm=monotone_oracle(100_000.0, mode="discrete"),
+        )
+        assert result.confirmed
+        assert result.bracket[0] <= 100_000.0 < result.bracket[1]
+
+    def test_boundary_decisions_are_confirm_mode(self):
+        result = find_sustainable_rate(
+            monotone_oracle(70_000.0, mode="fluid"),
+            start=1_000.0, floor=100.0, cap=1e7, rel_tol=0.05,
+            confirm=monotone_oracle(100_000.0, mode="discrete"),
+        )
+        lo, hi = result.bracket
+        modes = {p.rate: p.mode for p in result.probes}
+        assert modes[lo] == "discrete"
+        assert modes[hi] == "discrete"
+        counts = result.probes_by_mode()
+        assert counts.get("fluid", 0) > 0 and counts.get("discrete", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Golden fixture
+# ----------------------------------------------------------------------
+def test_golden_capacity_regenerates_byte_identical():
+    with open(GOLDEN_PATH, "rb") as fh:
+        committed = fh.read()
+    fresh = render(build_capacity_map()).encode()
+    assert fresh == committed, (
+        "golden capacity map drifted — the kernel, the SLO engine or the "
+        "search changed behaviour; if intentional, regenerate with "
+        "`PYTHONPATH=src:tests python tests/golden_capacity.py > "
+        "tests/data/golden_capacity.json`"
+    )
+
+
+def test_golden_points_are_confirmed_and_converged():
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    assert len(golden["points"]) == 3
+    for point in golden["points"]:
+        assert point["confirmed"], point["system"]
+        assert point["converged"], point["system"]
+        assert point["bracket_width_rel"] <= golden["rel_tol"]
+        # the boundary decisions were discrete
+        feasible_modes = {
+            p["mode"] for p in point["probe_log"]
+            if p["rate_eps"] == point["rate_eps"]
+        }
+        assert "discrete" in feasible_modes
+
+
+# ----------------------------------------------------------------------
+# Fluid-probe vs discrete-confirmation agreement on committed points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("system", ["pravega", "kafka"])
+def test_fluid_and_discrete_probes_agree_on_committed_points(system):
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    point = next(p for p in golden["points"] if p["system"] == system)
+    planner = CapacityPlanner(system, MIXES["uniform"], GOLDEN_CONFIG)
+
+    # comfortably inside the found rate: both modes must call it
+    # feasible, and their measured produce rates must agree
+    inside = point["rate_eps"] * 0.8
+    fluid = planner.fluid_probe(inside)
+    discrete = planner.discrete_probe(inside)
+    assert fluid.feasible and discrete.feasible
+    fluid_produce = fluid.detail["produce_eps"]
+    assert fluid_produce == pytest.approx(inside, rel=0.10)
+
+    # comfortably outside the confirmed bracket: both must refuse
+    outside = point["bracket_eps"][1] * 2.0
+    assert not planner.fluid_probe(outside).feasible
+    assert not planner.discrete_probe(outside).feasible

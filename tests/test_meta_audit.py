@@ -1,0 +1,125 @@
+"""Meta-audit: no silently dead fixtures, no silently dead markers.
+
+Two ways a test suite rots without ever going red:
+
+* a fixture JSON under ``tests/data/`` loses its last consumer in a
+  refactor — it stays committed, nothing loads it, and the regression
+  it guarded is unguarded.  The audit walks every test module's AST and
+  collects string literals *and* f-string shapes (an f-string like
+  ``f"golden_trace_{system}.json"`` counts as the fnmatch pattern
+  ``golden_trace_*.json``), then asserts every committed fixture matches
+  at least one of them.
+* a registered domain marker (pyproject ``[tool.pytest.ini_options]``)
+  stops being applied anywhere — ``make <domain>-test`` then selects
+  zero tests and exits green.  The audit asserts every registered
+  marker name appears as a ``pytest.mark.<name>`` use in some test or
+  benchmark module.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from pathlib import Path
+
+TESTS = Path(__file__).resolve().parent
+REPO = TESTS.parent
+THIS = Path(__file__).name
+
+
+def _iter_test_modules():
+    for pattern in ("test_*.py", "golden_*.py", "conftest.py", "helpers.py"):
+        yield from TESTS.glob(pattern)
+    yield from (REPO / "benchmarks").glob("bench_*.py")
+
+
+def _string_patterns(path: Path) -> set[str]:
+    """All literal strings in the module, with f-strings as fnmatch shapes."""
+    patterns: set[str] = set()
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            patterns.add(node.value)
+        elif isinstance(node, ast.JoinedStr):
+            shape = "".join(
+                part.value if isinstance(part, ast.Constant) else "*"
+                for part in node.values
+            )
+            patterns.add(shape)
+    # an f-string that is all placeholders collapses to "*" and would
+    # vacuously consume every fixture — only shapes that commit to the
+    # .json suffix count as fixture references
+    return {p for p in patterns if ".json" in p}
+
+
+def test_every_committed_fixture_has_a_consumer():
+    consumers: dict[str, set[str]] = {}
+    for module in _iter_test_modules():
+        if module.name == THIS:
+            continue  # the audit itself must not count as a consumer
+        for pattern in _string_patterns(module):
+            consumers.setdefault(pattern, set()).add(module.name)
+
+    orphans = []
+    for fixture in sorted((TESTS / "data").glob("*.json")):
+        hits = {
+            module
+            for pattern, modules in consumers.items()
+            if fixture.name in pattern or fnmatch.fnmatch(fixture.name, pattern)
+            for module in modules
+        }
+        if not hits:
+            orphans.append(fixture.name)
+    assert not orphans, (
+        f"fixtures under tests/data/ with no consuming test: {orphans} — "
+        "delete them or add a test that loads them"
+    )
+
+
+def _registered_markers() -> list[str]:
+    # tolerate the stdlib-only floor: parse the markers list textually
+    text = (REPO / "pyproject.toml").read_text()
+    names = []
+    in_markers = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("markers"):
+            in_markers = True
+            continue
+        if in_markers:
+            if stripped.startswith("]"):
+                break
+            if stripped.startswith('"'):
+                names.append(stripped.split(":", 1)[0].lstrip('"'))
+    return names
+
+
+def test_every_registered_marker_is_applied_somewhere():
+    markers = _registered_markers()
+    assert markers, "no markers registered in pyproject.toml"
+
+    used: set[str] = set()
+    for module in _iter_test_modules():
+        tree = ast.parse(module.read_text(), filename=str(module))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Attribute):
+                if (
+                    node.value.attr == "mark"
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id == "pytest"
+                ):
+                    used.add(node.attr)
+
+    dead = [name for name in markers if name not in used]
+    assert not dead, (
+        f"registered markers never applied to any test: {dead} — "
+        "`-m <marker>` would select nothing and exit green"
+    )
+
+
+def test_domain_marker_registry_matches_conftest():
+    from conftest import DOMAIN_MARKERS
+
+    registered = set(_registered_markers())
+    missing = set(DOMAIN_MARKERS) - registered
+    assert not missing, f"conftest audits unregistered markers: {sorted(missing)}"
