@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test
+.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test geo geo-check geo-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -99,3 +99,17 @@ gate:
 ## perturbed copies fail with the right structured diff)
 gate-test:
 	$(PYTHON) -m pytest -q -m gate
+
+## full geo-replication benchmark: async vs global-strong across three
+## WAN RTT tiers through a scripted region loss; writes BENCH_geo.json
+geo:
+	$(PYTHON) benchmarks/bench_geo.py
+
+## geo smoke: one cheap point per mode, claim asserts only, no JSON
+geo-check:
+	$(PYTHON) benchmarks/bench_geo.py --check
+
+## geo-marked tier-1 tests only (bounded staleness, failover ordering,
+## RPO/RTO oracle, election convergence, golden failover timeline)
+geo-test:
+	$(PYTHON) -m pytest -q -m geo

@@ -9,8 +9,9 @@ layers, cheapest first:
 
 1. **structure** — every committed file parses and satisfies its
    schema contract (suite scenarios all ``ok``, capacity points all
-   discrete-confirmed, ...), and scenarios recorded in more than one
-   file agree on their deterministic fields;
+   discrete-confirmed, geo failover points violation-free with a
+   measured RTO and in-bound staleness, ...), and scenarios recorded
+   in more than one file agree on their deterministic fields;
 2. **smoke re-runs** — a configurable subset of scenarios is re-run
    fresh and compared field by field against the committed records:
    deterministic fields (kernel events, simulated time, figure
@@ -311,6 +312,40 @@ def structure_checks(files: Dict[str, dict], min_capacity_points: int = 6) -> Li
             if not point.get("converged", False):
                 bad("BENCH_capacity.json", f"points[{label}].converged",
                     point.get("converged"), "converged bracket")
+
+    geo = files.get("BENCH_geo.json")
+    if geo is not None:
+        points = geo.get("points") or []
+        if len(points) < 6:
+            bad("BENCH_geo.json", "points", len(points),
+                ">= 6 geo points (2 modes x 3 RTT tiers)")
+        for point in points:
+            label = f"{point.get('mode')}/{point.get('tier')}"
+            for key in ("rpo_bytes", "rpo_events", "rto_s", "availability"):
+                if key not in point:
+                    bad("BENCH_geo.json", f"points[{label}].{key}",
+                        sorted(point), f"point with a {key} field")
+            if point.get("violations", 0):
+                bad("BENCH_geo.json", f"points[{label}].violations",
+                    point.get("violations"), "zero oracle violations")
+            if point.get("rto_s") is None:
+                bad("BENCH_geo.json", f"points[{label}].rto_s",
+                    None, "a measured failover RTO")
+            if point.get("mode") == "global_strong" and (
+                point.get("rpo_bytes") or point.get("rpo_events")
+            ):
+                bad("BENCH_geo.json", f"points[{label}].rpo_bytes",
+                    point.get("rpo_bytes"), "RPO 0 in global-strong mode")
+            if point.get("mode") == "async":
+                lag = point.get("max_lag_at_admission", 0)
+                bound = point.get(
+                    "staleness_bound_bytes",
+                    geo.get("staleness_bound_bytes", 0),
+                )
+                if lag > bound:
+                    bad("BENCH_geo.json",
+                        f"points[{label}].max_lag_at_admission", lag,
+                        f"admission lag within the {bound}B staleness bound")
 
     # Cross-file agreement: a scenario recorded in two files must agree
     # on its deterministic fields (wall fields are per-run).

@@ -86,7 +86,7 @@ def _registry() -> Dict[str, Scenario]:
     entries: Dict[str, Scenario] = {}
     for i, (name, module, func, weight) in enumerate(figure):
         entries[name] = Scenario(name, module, func, seed=1000 + i, weight=weight)
-    for i, system in enumerate(("pravega", "kafka", "pulsar", "workload")):
+    for i, system in enumerate(("pravega", "kafka", "pulsar", "workload", "geo")):
         name = f"smoke_{system}"
         entries[name] = Scenario(
             name, "", f"_smoke_{system}", seed=2000 + i, weight=1, smoke=True
@@ -172,6 +172,23 @@ def _smoke_workload(benchmark) -> None:
         info[f"{name}.availability"] = result.extra["slo.availability"]
         info[f"{name}.slo_ok"] = result.extra["slo.ok"]
     benchmark.extra_info.update(info)
+
+
+def _smoke_geo(benchmark) -> None:
+    """Two-region async geo deployment through a scripted region loss:
+    replication, election-driven failover and the RPO/RTO oracle end to
+    end (the repro.geo path)."""
+    from repro.geo.scenarios import run_region_loss
+
+    result = run_region_loss(mode="async", wan_rtt=0.02, seed=7, regions=2, steps=40)
+    benchmark.extra_info.update({
+        "acked": result["acked"],
+        "availability": result["availability"],
+        "rpo_bytes": result["rpo_bytes"],
+        "rto_s": result["rto_s"],
+        "promoted_region": result["promoted_region"],
+        "violations": len(result["violations"]),
+    })
 
 
 # ----------------------------------------------------------------------

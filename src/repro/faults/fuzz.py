@@ -1,6 +1,6 @@
 """Seeded randomized fault-schedule explorer.
 
-    python -m repro.faults.fuzz --seed S --steps N [--system pravega|kafka|pulsar|all]
+    python -m repro.faults.fuzz --seed S --steps N [--system pravega|kafka|pulsar|geo|all]
 
 Derives a fault plan and workload from the seed, runs it, checks the
 crash-consistency oracle and exits non-zero on any violation.  A
@@ -65,7 +65,7 @@ def main(argv=None) -> int:
     parser.add_argument("--steps", type=int, default=200)
     parser.add_argument(
         "--system", choices=[*RUNNERS, "all"], default="all",
-        help="system under test (default: all three)",
+        help="system under test (default: every registered runner)",
     )
     parser.add_argument(
         "--plan", default=None,

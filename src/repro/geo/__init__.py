@@ -1,0 +1,27 @@
+"""Geo-replicated multi-region deployments (ROADMAP: geo scenarios).
+
+Models 2-3 regions as independent Pravega clusters joined by a
+high-RTT WAN (a second :class:`repro.sim.network.Network`), with
+asynchronous bounded-staleness stream replication or a global-strong
+write mode coordinated through cross-region CAS on a Zookeeper
+quorum witness.  Region failover rides the existing leader-election
+recipe; a replication oracle measures RPO/RTO and checks ordering
+and staleness invariants (DESIGN.md §12).
+"""
+
+from repro.geo.cluster import GeoConfig, GeoCluster, Region
+from repro.geo.replication import ReplicationManager
+from repro.geo.failover import FailoverController
+from repro.geo.writer import GeoWriter
+from repro.geo.oracle import check_failover_history, check_geo_replication
+
+__all__ = [
+    "GeoConfig",
+    "GeoCluster",
+    "Region",
+    "ReplicationManager",
+    "FailoverController",
+    "GeoWriter",
+    "check_failover_history",
+    "check_geo_replication",
+]

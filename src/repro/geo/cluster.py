@@ -1,0 +1,359 @@
+"""Multi-region deployment: N Pravega clusters joined by a WAN.
+
+Each region is a full :class:`PravegaCluster` on its own intra-region
+network, with every host name prefixed (``east:segmentstore-0``) so
+fault rules can target nodes globally.  Regions talk over a second
+``Network`` whose spec carries the inter-region RTT; each region owns
+one WAN endpoint host ``geo:<region>``.  A Zookeeper *quorum witness*
+(``geo:witness``) lives on the WAN: every coordination op from a
+region costs one WAN round trip, which is exactly what makes
+global-strong writes expensive and async replication attractive.
+
+The cluster tracks two monotonic counters:
+
+* ``epoch`` — bumped on primary promotion (failover);
+* ``generation`` — bumped on *any* membership change (region loss,
+  restore, or promotion).  Writers race in-flight appends against it
+  so failover re-issues don't wait out full client retry backoff.
+
+A ``timeline`` of (t, event) records — region_lost, sessions_expired,
+leader_elected, primary_promoted, replicator_caught_up, ... — is the
+byte-deterministic failover history the golden fixture pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.pravega import PravegaCluster, PravegaClusterConfig
+from repro.pravega.container.container import ContainerConfig
+from repro.pravega.container.durable_log import DurableLogConfig
+from repro.pravega.segment_store import SegmentStoreConfig
+from repro.sim.core import SimFuture, Simulator, all_of
+from repro.sim.network import Network, NetworkSpec
+from repro.zookeeper.service import ZookeeperService
+
+__all__ = ["GeoConfig", "Region", "GeoCluster"]
+
+
+@dataclass(frozen=True)
+class GeoConfig:
+    #: region names in priority order; the first is the bootstrap primary
+    regions: Tuple[str, ...] = ("east", "west")
+    #: "async" (bounded-staleness replication) or "global_strong"
+    mode: str = "async"
+    #: inter-region round-trip time, seconds
+    wan_rtt: float = 0.08
+    #: inter-region bandwidth, bytes/second (~2 Gb/s)
+    wan_bandwidth: float = 2.5e8
+    #: async mode: max acked-but-unreplicated bytes before writers block
+    staleness_bound_bytes: int = 262144
+    #: zookeeper lease: how long after a region loss its witness
+    #: sessions expire (drives election-based failover detection)
+    session_timeout: float = 0.5
+    #: per-region deployment size
+    num_segment_stores: int = 2
+    num_containers: int = 2
+    journal_sync: bool = True
+    #: replicator batch ceiling per WAN shipment
+    replicator_batch_bytes: int = 65536
+    #: replicator poll interval when caught up with the source tail
+    replicator_poll: float = 0.002
+    scope: str = "geo"
+    stream: str = "s"
+
+
+@dataclass
+class Region:
+    name: str
+    cluster: PravegaCluster
+    alive: bool = True
+    #: WAN endpoint host name
+    wan_host: str = ""
+
+
+class GeoCluster:
+    """2-3 regions, a WAN, a witness, replication and failover."""
+
+    def __init__(self, sim: Simulator, config: GeoConfig) -> None:
+        if not 2 <= len(config.regions) <= 3:
+            raise ValueError("GeoCluster models 2 or 3 regions")
+        self.sim = sim
+        self.config = config
+        self.wan = Network(
+            sim,
+            NetworkSpec(
+                bandwidth=config.wan_bandwidth,
+                rtt=config.wan_rtt,
+                per_message_overhead=20e-6,
+            ),
+        )
+        self.global_zk = ZookeeperService(sim, self.wan, host="geo:witness")
+        self.regions: Dict[str, Region] = {}
+        # WAL replication cannot exceed the bookies a region actually has
+        # (small regions run ensemble = stores, ack = majority-or-all).
+        ensemble = min(3, config.num_segment_stores)
+        store_config = SegmentStoreConfig(
+            container=ContainerConfig(
+                durable_log=DurableLogConfig(
+                    ensemble_size=ensemble,
+                    write_quorum=ensemble,
+                    ack_quorum=max(2, ensemble - 1) if ensemble > 1 else 1,
+                )
+            )
+        )
+        for name in config.regions:
+            cluster = PravegaCluster.build(
+                sim,
+                PravegaClusterConfig(
+                    num_segment_stores=config.num_segment_stores,
+                    num_containers=config.num_containers,
+                    lts_kind="memory",
+                    journal_sync=config.journal_sync,
+                    host_prefix=f"{name}:",
+                    store=store_config,
+                ),
+            )
+            self.regions[name] = Region(name, cluster, wan_host=f"geo:{name}")
+        self.primary_name: str = config.regions[0]
+        self.epoch: int = 0
+        self.generation: int = 0
+        self.segment_names: List[str] = []
+        self.timeline: List[dict] = []
+        #: filled at the first region loss: per surviving region, the
+        #: acked-but-unreplicated byte count at the loss instant; the
+        #: promoted survivor's entry is the measured RPO
+        self.rpo_bytes_at_loss: Dict[str, int] = {}
+        self._epoch_waiters: Dict[int, SimFuture] = {}
+        self._generation_waiters: Dict[int, SimFuture] = {}
+        self._primary_waiters: List[SimFuture] = []
+        from repro.geo.replication import ReplicationManager
+        from repro.geo.failover import FailoverController
+
+        self.replication = ReplicationManager(self)
+        self.failover = FailoverController(self)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, sim: Simulator, config: Optional[GeoConfig] = None) -> "GeoCluster":
+        return cls(sim, config or GeoConfig())
+
+    def start(self) -> SimFuture:
+        """Boot every region, create the stream everywhere, seed the
+        witness state, start replication and the election loops."""
+
+        def run():
+            yield all_of(
+                self.sim, [r.cluster.start() for r in self.regions.values()]
+            )
+            for region in self.regions.values():
+                client = region.cluster.controller_client(
+                    f"{region.name}:geo-admin"
+                )
+                yield client.create_scope(self.config.scope)
+                yield client.create_stream(self.config.scope, self.config.stream)
+            locations = self.regions[
+                self.primary_name
+            ].cluster.controller.get_active_segments(
+                self.config.scope, self.config.stream
+            )
+            self.segment_names = sorted(l.qualified_name for l in locations)
+            zk = self.global_zk.connect(f"geo:{self.primary_name}")
+            yield zk.ensure_path("/geo")
+            yield zk.create("/geo/primary", self.primary_name.encode())
+            yield zk.create("/geo/seq", b"0")
+            zk.close()
+            self._note("primary_bootstrapped", region=self.primary_name)
+            self.replication.start_epoch()
+            self.failover.start()
+
+        return self.sim.process(run())
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _note(self, event: str, **attrs) -> None:
+        record = {"t": round(self.sim.now, 6), "event": event}
+        record.update(attrs)
+        self.timeline.append(record)
+
+    def applied_length(self, region_name: str, segment: str) -> Optional[int]:
+        """Readable byte length of ``segment`` in a region, or None when
+        the hosting container is unreachable."""
+        region = self.regions[region_name]
+        try:
+            store = region.cluster.store_cluster.store_for_segment(segment)
+            container = store.container_for(segment)
+        except Exception:
+            return None
+        if not getattr(container, "online", False):
+            return None
+        state = container.segments.get(segment)
+        return None if state is None else state.applied_length
+
+    def total_applied(self, region_name: str) -> int:
+        total = 0
+        for segment in self.segment_names:
+            length = self.applied_length(region_name, segment)
+            if length is not None:
+                total += length
+        return total
+
+    @property
+    def has_live_primary(self) -> bool:
+        return self.regions[self.primary_name].alive
+
+    def live_regions(self) -> List[Region]:
+        """Live regions in configured priority order."""
+        return [
+            self.regions[name]
+            for name in self.config.regions
+            if self.regions[name].alive
+        ]
+
+    # ------------------------------------------------------------------
+    # Change notification futures
+    # ------------------------------------------------------------------
+    def primary_ready(self) -> SimFuture:
+        fut = self.sim.future()
+        if self.has_live_primary:
+            fut.set_result(None)
+        else:
+            self._primary_waiters.append(fut)
+        return fut
+
+    def epoch_change(self, epoch: int) -> SimFuture:
+        """Resolved once ``self.epoch`` exceeds ``epoch``."""
+        if self.epoch > epoch:
+            fut = self.sim.future()
+            fut.set_result(None)
+            return fut
+        waiter = self._epoch_waiters.get(epoch)
+        if waiter is None:
+            waiter = self.sim.future()
+            self._epoch_waiters[epoch] = waiter
+        return waiter
+
+    def generation_change(self, generation: int) -> SimFuture:
+        """Resolved once ``self.generation`` exceeds ``generation``."""
+        if self.generation > generation:
+            fut = self.sim.future()
+            fut.set_result(None)
+            return fut
+        waiter = self._generation_waiters.get(generation)
+        if waiter is None:
+            waiter = self.sim.future()
+            self._generation_waiters[generation] = waiter
+        return waiter
+
+    def _bump_generation(self) -> None:
+        self.generation += 1
+        for gen in sorted(self._generation_waiters):
+            if gen < self.generation:
+                waiter = self._generation_waiters.pop(gen)
+                if not waiter.done:
+                    waiter.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Region lifecycle (fault surface)
+    # ------------------------------------------------------------------
+    def lose_region(self, name: str) -> None:
+        """Total region loss: every store and bookie crashes now; the
+        witness sessions expire one lease later (failure detection)."""
+        region = self.regions[name]
+        if not region.alive:
+            return
+        region.alive = False
+        self._note("region_lost", region=name)
+        if name == self.primary_name:
+            # RPO snapshot: what each survivor would lose if promoted now.
+            # Global-strong acks only after every region applied, so its
+            # acked-but-unreplicated count is zero by construction.
+            for other in self.config.regions:
+                if other == name or not self.regions[other].alive:
+                    continue
+                self.rpo_bytes_at_loss[other] = (
+                    self.replication.lag_bytes(other)
+                    if self.config.mode == "async"
+                    else 0
+                )
+        for store in region.cluster.store_cluster.stores.values():
+            if store.alive:
+                store.crash()
+        for bookie in region.cluster.bk_cluster.bookies.values():
+            if bookie.alive:
+                bookie.crash(lose_unsynced=False)
+        self.replication.on_membership_change()
+        self._bump_generation()
+
+        def expire() -> None:
+            count = self.global_zk.expire_sessions_for_host(f"geo:{name}")
+            self._note("sessions_expired", region=name, sessions=count)
+
+        self.sim.schedule(self.config.session_timeout, expire)
+
+    def restore_region(self, name: str) -> SimFuture:
+        """Restart a lost region and rejoin it as a (re-syncing) replica.
+
+        Only valid for regions whose log is a prefix of the current
+        primary's (a secondary that never diverged); a lost *former
+        primary* would need suffix truncation, which the model does not
+        implement — scripted scenarios never restore one.
+        """
+        region = self.regions[name]
+
+        def run():
+            if region.alive:
+                return
+            for bookie in region.cluster.bk_cluster.bookies.values():
+                if not bookie.alive:
+                    bookie.restart()
+            for store in region.cluster.store_cluster.stores.values():
+                if not store.alive:
+                    store.restart()
+            yield self.sim.timeout(0.05)
+            store_cluster = region.cluster.store_cluster
+            for _ in range(5):
+                offline = []
+                for cid, owner in sorted(store_cluster.assignment().items()):
+                    container = store_cluster.stores[owner].containers.get(cid)
+                    if container is None or not container.online:
+                        offline.append(cid)
+                if not offline:
+                    break
+                for cid in offline:
+                    try:
+                        yield store_cluster.recover_container(cid)
+                    except Exception:
+                        pass  # retried on the next sweep
+                yield self.sim.timeout(0.05)
+            region.alive = True
+            self._note("region_restored", region=name)
+            self.replication.on_membership_change()
+            self._bump_generation()
+            if region.name != self.primary_name and self.has_live_primary:
+                self.replication.resume_region(name)
+
+        return self.sim.process(run())
+
+    # ------------------------------------------------------------------
+    # Promotion (called by the elected leader's failover controller)
+    # ------------------------------------------------------------------
+    def apply_promotion(self, name: str) -> None:
+        if name == self.primary_name and self.has_live_primary:
+            return
+        self.primary_name = name
+        self.epoch += 1
+        self._note("primary_promoted", region=name, epoch=self.epoch)
+        self.replication.start_epoch()
+        for epoch in sorted(self._epoch_waiters):
+            if epoch < self.epoch:
+                waiter = self._epoch_waiters.pop(epoch)
+                if not waiter.done:
+                    waiter.set_result(None)
+        self._bump_generation()
+        waiters, self._primary_waiters = self._primary_waiters, []
+        for waiter in waiters:
+            if not waiter.done:
+                waiter.set_result(None)

@@ -1,0 +1,144 @@
+"""Region failover driven by leader election on the quorum witness.
+
+Every region runs a candidate loop against the shared election path
+``/geo/election`` on the WAN witness.  Whoever wins leadership audits
+the recorded primary (``/geo/primary``): while that region is alive
+the leader just holds its seat; once the primary's witness sessions
+expire (one :attr:`GeoConfig.session_timeout` after the loss) the old
+leader's ephemeral node vanishes, a survivor wins the election, and it
+runs the promotion protocol:
+
+1. survey every live survivor's total applied bytes (one WAN round
+   trip per remote region surveyed);
+2. pick the most caught-up survivor (ties break by configured region
+   priority order) — safe because replica logs are byte prefixes of
+   the source, so "most bytes" is "longest prefix", never divergent;
+3. CAS the choice into ``/geo/primary`` (BadVersion ⇒ somebody else
+   already promoted; re-read and defer), then apply it locally.
+
+The loop tolerates session expiry storms: a dead session just means
+resign-and-recampaign with a fresh witness client, and the property
+suite checks the system converges back to exactly one leader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.zookeeper.election import LeaderElection
+from repro.zookeeper.service import (
+    BadVersionError,
+    NoNodeError,
+    SessionExpiredError,
+)
+
+__all__ = ["FailoverController"]
+
+
+class FailoverController:
+    def __init__(self, geo) -> None:
+        self.geo = geo
+        #: region name -> its current LeaderElection (refreshed per client)
+        self._elections: Dict[str, LeaderElection] = {}
+        self.promotions: int = 0
+
+    def start(self) -> None:
+        for name in self.geo.config.regions:
+            self.geo.sim.process(self._election_loop(name))
+
+    def leaders(self) -> List[str]:
+        """Regions currently holding a live leadership seat."""
+        out = []
+        for name, election in self._elections.items():
+            if election.is_leader and election.zk.alive:
+                out.append(name)
+        return out
+
+    # ------------------------------------------------------------------
+    def _election_loop(self, region_name: str):
+        geo = self.geo
+        region = geo.regions[region_name]
+        while True:
+            if not region.alive:
+                yield geo.sim.timeout(0.05)
+                continue
+            zk = geo.global_zk.connect(f"geo:{region_name}")
+            election = LeaderElection(zk, "/geo/election", region_name)
+            self._elections[region_name] = election
+            try:
+                yield election.campaign()
+            except (SessionExpiredError, SimulationError, NoNodeError):
+                zk.close()
+                yield geo.sim.timeout(0.05)
+                continue
+            if not region.alive:
+                # Won with a session that outlived the region.  A dead
+                # region can't resign: abandon the seat and let the
+                # witness session expiry (the failure detector) clear it.
+                continue
+            geo._note("leader_elected", region=region_name)
+            yield from self._maybe_promote(zk, region_name)
+            # Hold the seat until the session or the region dies.
+            while zk.alive and region.alive:
+                yield geo.sim.timeout(0.05)
+            if region.alive:
+                self._safe_resign(election, zk)
+            # else: abandoned — ephemeral node outlives the region until
+            # its witness session expires (GeoConfig.session_timeout).
+
+    def _safe_resign(self, election: LeaderElection, zk) -> None:
+        try:
+            election.resign()
+        except (SessionExpiredError, NoNodeError, SimulationError):
+            pass
+        zk.close()
+
+    # ------------------------------------------------------------------
+    def _maybe_promote(self, zk, leader_name: str):
+        """Promote the most caught-up survivor if the recorded primary
+        is dead.  Runs under the just-won leadership seat."""
+        geo = self.geo
+        while True:
+            try:
+                data, stat = yield zk.get("/geo/primary")
+            except (SessionExpiredError, NoNodeError, SimulationError):
+                return
+            recorded = data.decode()
+            if geo.regions[recorded].alive:
+                if recorded != geo.primary_name:
+                    geo.apply_promotion(recorded)  # learn a peer's CAS
+                return
+            best = yield from self._survey(leader_name)
+            if best is None:
+                return
+            try:
+                yield zk.set(
+                    "/geo/primary", best.encode(), expected_version=stat.version
+                )
+            except BadVersionError:
+                continue  # somebody else promoted first; re-audit
+            except (SessionExpiredError, NoNodeError, SimulationError):
+                return
+            self.promotions += 1
+            geo.apply_promotion(best)
+            return
+
+    def _survey(self, leader_name: str) -> Optional[str]:
+        """Most caught-up live survivor; one WAN round trip per remote
+        region asked for its applied length."""
+        geo = self.geo
+        best_name: Optional[str] = None
+        best_bytes = -1
+        me = geo.regions[leader_name]
+        for region in geo.live_regions():
+            if region.name != leader_name:
+                yield geo.wan.transfer(me.wan_host, region.wan_host, 128)
+                yield geo.wan.transfer(region.wan_host, me.wan_host, 128)
+                if not region.alive:
+                    continue
+            applied = geo.total_applied(region.name)
+            if applied > best_bytes:
+                best_bytes = applied
+                best_name = region.name
+        return best_name

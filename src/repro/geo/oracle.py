@@ -1,0 +1,107 @@
+"""Replication oracle: RPO/RTO-aware extension of the crash oracle.
+
+:func:`repro.faults.oracle.check_history` treats every lost acked
+event as a violation — the single-cluster durability contract.  Across
+a region loss the contract is weaker by design: *async* replication
+admits a bounded window of acked-but-unreplicated data whose loss is
+the measured RPO, not a bug.  :func:`check_failover_history` splits
+lost acked events by *which region acked them* (ack delivery can cross
+the loss instant in flight, so wall-clock time is not the right
+discriminator — a crashed store cannot generate acks, so the acking
+region pins down when the ack was produced):
+
+* acked by a **surviving** region ⇒ acked by the promoted primary
+  after failover ⇒ loss is always a violation (both modes);
+* acked by the **lost** region ⇒ legal RPO in async mode (returned for
+  measurement), a violation in global-strong (whose whole point is
+  RPO = 0).
+
+Per-key order must hold in every mode; duplicates are legal across a
+failover because cross-region re-issues escape regional writer dedup.
+
+:func:`check_geo_replication` audits the replication machinery itself
+after heal: the admission-time staleness gate never exceeded its
+bound, and every live async replica converged byte-for-byte with the
+primary (replica logs are prefixes, so equality of applied lengths is
+convergence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.faults.oracle import HistoryOracle, check_history
+
+__all__ = ["check_failover_history", "check_geo_replication"]
+
+
+def check_failover_history(
+    oracle: HistoryOracle,
+    ack_regions: Dict[Tuple[str, int], str],
+    lost_region: str,
+    *,
+    strong: bool,
+) -> Tuple[List[str], List[Tuple[str, int]]]:
+    """Returns (violations, rpo_events).
+
+    ``ack_regions`` maps each acked (key, seq) to the region that
+    served its ack; ``lost_region`` is the region taken down.
+    ``rpo_events`` are acked events legally lost to async replication
+    lag (always empty when strong).
+    """
+    # Per-key order with duplicates allowed; durability handled below.
+    violations = check_history(set(), oracle.observed, allow_duplicates=True)
+    observed = {
+        (key, seq) for key, seqs in oracle.observed.items() for seq in seqs
+    }
+    rpo_events: List[Tuple[str, int]] = []
+    for key, seq in sorted(oracle.acked - observed):
+        region = ack_regions.get((key, seq))
+        if region is None:
+            violations.append(f"acked event {key}|{seq} has no ack region")
+        elif region != lost_region:
+            violations.append(
+                f"lost acked event {key}|{seq} served by surviving "
+                f"region {region}"
+            )
+        elif strong:
+            violations.append(
+                f"global-strong lost acked event {key}|{seq} (RPO must be 0)"
+            )
+        else:
+            rpo_events.append((key, seq))
+    return violations, rpo_events
+
+
+def check_geo_replication(geo) -> List[str]:
+    """Audit the staleness gate and post-heal replica convergence."""
+    violations: List[str] = []
+    if geo.config.mode != "async":
+        return violations
+    rep = geo.replication
+    bound = geo.config.staleness_bound_bytes
+    if rep.max_lag_at_admission > bound:
+        violations.append(
+            f"staleness gate admitted at lag {rep.max_lag_at_admission} "
+            f"> bound {bound}"
+        )
+    for region in geo.live_regions():
+        if region.name == geo.primary_name:
+            continue
+        for segment in geo.segment_names:
+            src_len = geo.applied_length(geo.primary_name, segment)
+            if src_len is None:
+                continue
+            progress = rep.progress.get((region.name, segment), 0)
+            if progress < src_len:
+                violations.append(
+                    f"replica {region.name} not converged on {segment}: "
+                    f"shipped {progress} < source {src_len}"
+                )
+            applied = geo.applied_length(region.name, segment)
+            if applied is not None and applied != src_len:
+                violations.append(
+                    f"replica {region.name} applied {applied} != "
+                    f"source {src_len} on {segment}"
+                )
+    return violations

@@ -1,0 +1,277 @@
+"""Asynchronous cross-region stream replication with a staleness gate.
+
+One tailing process per (destination region, segment): it watches the
+primary's applied length, reads the next byte range through the source
+region's segment-store RPC surface, ships it over the WAN, and appends
+it idempotently to the same segment in the destination region (a fresh
+``georepl`` writer id per epoch, batch sequence numbers as event
+numbers, so retried shipments dedup via segment attributes).  Because
+every shipment is a contiguous range copied in order from offset 0,
+each replica segment is byte-for-byte a *prefix* of its source — which
+is what makes failover catch-up (resume from the replica's applied
+length) and readback (frames decode identically) correct.
+
+Bounded staleness is *enforced at admission*: an async writer calls
+:meth:`admit` with its framed size before appending locally, and blocks
+while ``applied-but-unreplicated + admitted-in-flight`` exceeds the
+configured bound.  Since every admitted byte is counted either in the
+applied lag or the in-flight total at the moment any later event is
+admitted, the applied (steady-state) lag can never exceed
+``bound + one frame`` — the invariant the oracle and the property
+suite check.  Segments re-syncing after a restore or a promotion are
+excluded from the gate until they first catch up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.core import SimFuture
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    def __init__(self, geo) -> None:
+        self.geo = geo
+        #: (dst_region, segment) -> bytes replicated into dst
+        self.progress: Dict[Tuple[str, str], int] = {}
+        #: keys still catching up (excluded from the staleness gate)
+        self.syncing: Set[Tuple[str, str]] = set()
+        #: bytes admitted by async writers but not yet locally settled
+        self.inflight_admitted: int = 0
+        #: observability for the oracle / property tests
+        self.max_lag_at_admission: int = 0
+        self.max_steady_lag_bytes: int = 0
+        self.shipments: int = 0
+        self.bytes_shipped: int = 0
+        self._gate_waiters: List[SimFuture] = []
+        #: per-(dst, segment) incarnation token: bumping it kills the
+        #: previous replicator process for that key (it checks the token
+        #: before every shipment), so a restart can never race a zombie
+        #: into double-appending; the token is also part of the writer id
+        #: so a fresh incarnation escapes the old one's dedup watermark
+        self._incarnation: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Epoch / membership transitions
+    # ------------------------------------------------------------------
+    def start_epoch(self) -> None:
+        """(Re)start replication from the current primary to every other
+        live region.  Loops from older epochs notice the epoch counter
+        moved and exit on their next iteration.  Global-strong mode has
+        no replicators: clients append to every region synchronously."""
+        if self.geo.config.mode != "async":
+            return
+        for region in self.geo.live_regions():
+            if region.name != self.geo.primary_name:
+                self._start_dst(region.name)
+
+    def resume_region(self, name: str) -> None:
+        """A restored secondary rejoins: re-sync it from the primary."""
+        if self.geo.config.mode != "async":
+            return
+        self._start_dst(name)
+
+    def _start_dst(self, dst_name: str) -> None:
+        for segment in self.geo.segment_names:
+            key = (dst_name, segment)
+            token = self._incarnation.get(key, 0) + 1
+            self._incarnation[key] = token
+            self.geo.sim.process(
+                self._replicate(self.geo.epoch, dst_name, segment, token)
+            )
+
+    def on_membership_change(self) -> None:
+        """A region died or rejoined: drop dead-region gate pressure."""
+        self._release_gate()
+
+    # ------------------------------------------------------------------
+    # Staleness accounting
+    # ------------------------------------------------------------------
+    def _replica_names(self) -> List[str]:
+        return [
+            r.name
+            for r in self.geo.live_regions()
+            if r.name != self.geo.primary_name
+        ]
+
+    def lag_bytes(self, dst_name: str) -> int:
+        """Applied-but-unreplicated bytes from the primary to ``dst``."""
+        total = 0
+        for segment in self.geo.segment_names:
+            src_len = self.geo.applied_length(self.geo.primary_name, segment)
+            if src_len is None:
+                continue
+            total += max(0, src_len - self.progress.get((dst_name, segment), 0))
+        return total
+
+    def steady_lag_bytes(self) -> int:
+        """Worst applied lag across live replicas, syncing keys excluded."""
+        worst = 0
+        for dst_name in self._replica_names():
+            total = 0
+            for segment in self.geo.segment_names:
+                if (dst_name, segment) in self.syncing:
+                    continue
+                src_len = self.geo.applied_length(self.geo.primary_name, segment)
+                if src_len is None:
+                    continue
+                total += max(
+                    0, src_len - self.progress.get((dst_name, segment), 0)
+                )
+            worst = max(worst, total)
+        return worst
+
+    def admit(self, nbytes: int) -> Optional[SimFuture]:
+        """Admission gate for async writers: None = admitted now, else a
+        future to wait on before re-trying.  Callers must :meth:`settle`
+        every admitted byte count exactly once."""
+        if not self._replica_names():
+            self.inflight_admitted += nbytes
+            return None  # no live replicas: degraded, nothing to bound
+        lag = self.steady_lag_bytes()
+        effective = lag + self.inflight_admitted
+        if effective + nbytes > self.geo.config.staleness_bound_bytes:
+            waiter = self.geo.sim.future()
+            self._gate_waiters.append(waiter)
+            return waiter
+        self.max_lag_at_admission = max(self.max_lag_at_admission, effective)
+        self.max_steady_lag_bytes = max(self.max_steady_lag_bytes, lag)
+        self.inflight_admitted += nbytes
+        return None
+
+    def settle(self, nbytes: int) -> None:
+        self.inflight_admitted = max(0, self.inflight_admitted - nbytes)
+        self._release_gate()
+
+    def _release_gate(self) -> None:
+        if not self._gate_waiters:
+            return
+        if (
+            self._replica_names()
+            and self.steady_lag_bytes() + self.inflight_admitted
+            > self.geo.config.staleness_bound_bytes
+        ):
+            return
+        waiters, self._gate_waiters = self._gate_waiters, []
+        for waiter in waiters:
+            if not waiter.done:
+                waiter.set_result(None)
+
+    def caught_up(self, dst_name: str) -> bool:
+        for segment in self.geo.segment_names:
+            src_len = self.geo.applied_length(self.geo.primary_name, segment)
+            if src_len is None:
+                continue
+            if self.progress.get((dst_name, segment), 0) < src_len:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The per-(dst, segment) tailing process
+    # ------------------------------------------------------------------
+    def _replicate(self, epoch: int, dst_name: str, segment: str, token: int):
+        geo = self.geo
+        config = geo.config
+        src_name = geo.primary_name
+        src = geo.regions[src_name]
+        dst = geo.regions[dst_name]
+        key = (dst_name, segment)
+
+        def stale() -> bool:
+            return (
+                geo.epoch != epoch
+                or self._incarnation.get(key) != token
+                or not src.alive
+                or not dst.alive
+            )
+
+        # The destination container may still be recovering (restore
+        # races container failover): poll until it serves reads.
+        dst_len = geo.applied_length(dst_name, segment)
+        while dst_len is None:
+            if stale():
+                return
+            yield geo.sim.timeout(0.05)
+            dst_len = geo.applied_length(dst_name, segment)
+        offset = dst_len
+        self.progress[key] = offset
+        src_len = geo.applied_length(src_name, segment) or 0
+        if offset < src_len:
+            self.syncing.add(key)
+            geo._note(
+                "replicator_resync",
+                region=dst_name,
+                segment=segment,
+                behind=src_len - offset,
+            )
+        writer_id = f"georepl/{epoch}.{token}/{dst_name}/{segment}"
+        batch_no = 0
+        src_host = f"{src_name}:georepl"
+        dst_host = f"{dst_name}:georepl"
+        while not stale():
+            avail = geo.applied_length(src_name, segment)
+            if avail is None or avail <= offset:
+                self._maybe_finish_sync(key, dst_name)
+                self._release_gate()
+                yield geo.sim.timeout(config.replicator_poll)
+                continue
+            want = min(config.replicator_batch_bytes, avail - offset)
+            src_store = src.cluster.store_cluster.store_for_segment(segment)
+            try:
+                result = yield src_store.rpc_read(src_host, segment, offset, want)
+            except Exception:
+                if stale():
+                    return
+                yield geo.sim.timeout(0.05)
+                continue
+            if result.payload.size == 0:
+                yield geo.sim.timeout(config.replicator_poll)
+                continue
+            yield geo.wan.transfer(
+                src.wan_host, dst.wan_host, result.payload.size + 64
+            )
+            batch_no += 1
+            appended = False
+            for _ in range(40):
+                if stale():
+                    return
+                dst_store = dst.cluster.store_cluster.store_for_segment(segment)
+                try:
+                    yield dst_store.rpc_append(
+                        dst_host,
+                        segment,
+                        result.payload,
+                        writer_id=writer_id,
+                        event_number=batch_no,
+                        event_count=1,
+                    )
+                    appended = True
+                    break
+                except Exception:
+                    yield geo.sim.timeout(0.05)
+            if not appended:
+                return
+            yield geo.wan.transfer(dst.wan_host, src.wan_host, 64)
+            offset += result.payload.size
+            self.progress[key] = offset
+            self.shipments += 1
+            self.bytes_shipped += result.payload.size
+            if key not in self.syncing:
+                self.max_steady_lag_bytes = max(
+                    self.max_steady_lag_bytes, self.steady_lag_bytes()
+                )
+            self._maybe_finish_sync(key, dst_name)
+            self._release_gate()
+
+    def _maybe_finish_sync(self, key: Tuple[str, str], dst_name: str) -> None:
+        if key not in self.syncing:
+            return
+        src_len = self.geo.applied_length(self.geo.primary_name, key[1])
+        if src_len is not None and self.progress.get(key, 0) >= src_len:
+            self.syncing.discard(key)
+            if not any(k[0] == dst_name for k in self.syncing):
+                self.geo._note(
+                    "replicator_caught_up", region=dst_name, epoch=self.geo.epoch
+                )

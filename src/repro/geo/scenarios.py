@@ -1,0 +1,391 @@
+"""Geo scenario harness: scripted region loss and seeded geo fuzz.
+
+:func:`run_region_loss` is the measured experiment behind
+``BENCH_geo.json`` and the golden failover fixture: sequential per-key
+writers run through a scripted loss of the primary region, and the
+harness reports client-visible latency, availability against an SLA,
+and the recovery-point / recovery-time objectives the replication
+oracle defines (RPO = acked-but-unreplicated bytes at the loss
+instant; RTO = first post-failover ack minus the loss instant).
+
+:func:`run_geo_fuzz` is the ``repro.faults.fuzz`` entry: a seeded
+:class:`FaultPlan` of WAN partitions, witness session expiries,
+per-store crashes and whole-secondary-region crash/restores runs
+against an async geo deployment; after heal, the primary readback must
+satisfy the single-cluster contract and every replica must have
+converged byte-for-byte (:func:`check_geo_replication`).
+
+Everything derives from ``random.Random(f"geo...:{seed}")`` string
+seeding, so runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import SimulationError
+from repro.faults.engine import FaultEngine
+from repro.faults.oracle import (
+    HistoryOracle,
+    check_pravega_tiering,
+    decode_event,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.scenarios import ScenarioResult, heal_pravega, wire_pravega
+from repro.geo.cluster import GeoCluster, GeoConfig
+from repro.geo.oracle import check_failover_history, check_geo_replication
+from repro.geo.writer import GeoWriter
+from repro.sim.core import Simulator, all_of
+
+__all__ = ["RTT_TIERS", "run_region_loss", "run_geo_fuzz"]
+
+#: the three WAN tiers benchmarked: same-metro DCs, one continent, antipodal
+RTT_TIERS = {"metro": 0.02, "continental": 0.08, "global": 0.2}
+
+KEYS = ["alpha", "bravo", "charlie", "delta"]
+
+#: client-visible availability SLA: an event counts as available if it
+#: acks within this much of its submission
+SLA_S = 1.0
+
+
+def _split_steps(steps: int) -> Dict[str, int]:
+    base, extra = divmod(steps, len(KEYS))
+    return {key: base + (1 if i < extra else 0) for i, key in enumerate(KEYS)}
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[idx]
+
+
+def _drain_stream(sim, cluster, oracle, scope, stream, budget, host):
+    """Fresh reader group drains the stream head-to-tail into the oracle."""
+    group = sim.run_until_complete(
+        cluster.create_reader_group(host, "geo-rb", scope, stream), timeout=120
+    )
+    reader = cluster.create_reader(host, "r0", group)
+    sim.run_until_complete(reader.join(), timeout=120)
+    pending: Set[Tuple[str, int]] = set(oracle.acked)
+    reads = 0
+    try:
+        while pending and reads < budget:
+            batch = sim.run_until_complete(reader.read_next(), timeout=30.0)
+            reads += 1
+            for data in batch.events:
+                key, seq = decode_event(data)
+                oracle.observe(key, seq)
+                pending.discard((key, seq))
+    except Exception:
+        pass  # missing events are the oracle's verdict to report
+
+
+def _settle_replication(sim, geo, sweeps: int = 200) -> None:
+    """Run until every live replica caught up (bounded poll)."""
+    for _ in range(sweeps):
+        live = [
+            r.name
+            for r in geo.live_regions()
+            if r.name != geo.primary_name
+        ]
+        if all(geo.replication.caught_up(name) for name in live):
+            return
+        sim.run(until=sim.now + 0.05)
+
+
+# ======================================================================
+# Scripted region loss (the measured RPO/RTO experiment)
+# ======================================================================
+def run_region_loss(
+    mode: str = "async",
+    wan_rtt: float = 0.08,
+    seed: int = 7,
+    regions: int = 3,
+    steps: int = 120,
+    staleness_bound_bytes: int = 262144,
+) -> dict:
+    sim = Simulator()
+    rng = random.Random(f"geo-loss:{mode}:{wan_rtt}:{seed}")
+    names = ("east", "west", "south")[:regions]
+    config = GeoConfig(
+        regions=names,
+        mode=mode,
+        wan_rtt=wan_rtt,
+        staleness_bound_bytes=staleness_bound_bytes,
+    )
+    geo = GeoCluster.build(sim, config)
+    sim.run_until_complete(geo.start(), timeout=300)
+    lost_region = geo.primary_name
+
+    oracle = HistoryOracle()
+    submit_times: Dict[Tuple[str, int], float] = {}
+    ack_times: Dict[Tuple[str, int], float] = {}
+    ack_regions: Dict[Tuple[str, int], str] = {}
+
+    writers = {key: GeoWriter(geo, f"c-{key}") for key in KEYS}
+    per_key = _split_steps(steps)
+
+    def key_writer(key: str, count: int):
+        writer = writers[key]
+        for _ in range(count):
+            data, seq = oracle.next_event(key)
+            submit_times[(key, seq)] = sim.now
+            fut = writer.write_event(data, key=key)
+
+            def on_done(f, key=key, seq=seq) -> None:
+                if f.exception is None:
+                    oracle.mark_acked(key, seq)
+                    ack_times[(key, seq)] = sim.now
+                    ack_regions[(key, seq)] = f.value["region"]
+                else:
+                    oracle.mark_failed(key, seq)
+
+            fut.add_callback(on_done)
+            try:
+                yield fut
+            except Exception:
+                pass  # marked failed by the callback
+            yield sim.timeout(0.002 + rng.random() * 0.006)
+
+    t0 = sim.now
+    # lose the primary mid-run: writers are ~wan_rtt + gap per event
+    t_loss = round(t0 + (steps / len(KEYS)) * (wan_rtt + 0.006) * 0.5, 6)
+    procs = [
+        sim.process(key_writer(key, count)) for key, count in per_key.items()
+    ]
+    sim.schedule(t_loss - sim.now, lambda: geo.lose_region(lost_region))
+    try:
+        sim.run_until_complete(all_of(sim, procs), timeout=900)
+    except SimulationError:
+        pass  # stuck writers: their events stay unacked, readback decides
+
+    if mode == "async":
+        _settle_replication(sim, geo)
+
+    # RTO: first ack served by a surviving region after the loss
+    post = sorted(
+        t
+        for evt, t in ack_times.items()
+        if t > t_loss and ack_regions.get(evt) != lost_region
+    )
+    rto_s = round(post[0] - t_loss, 6) if post else None
+    if post:
+        geo._note("first_post_failover_ack", rto_s=rto_s)
+
+    # readback from the promoted primary
+    primary = geo.regions[geo.primary_name]
+    _drain_stream(
+        sim,
+        primary.cluster,
+        oracle,
+        config.scope,
+        config.stream,
+        budget=10 * steps + 100,
+        host=f"{geo.primary_name}:bench-r",
+    )
+    violations, rpo_events = check_failover_history(
+        oracle, ack_regions, lost_region, strong=(mode == "global_strong")
+    )
+    violations += check_geo_replication(geo)
+
+    pre_lat = [
+        ack_times[evt] - submit_times[evt]
+        for evt in ack_times
+        if ack_times[evt] <= t_loss
+    ]
+    within_sla = sum(
+        1
+        for evt, t in ack_times.items()
+        if t - submit_times[evt] <= SLA_S
+    )
+    attempted = len(oracle.sent)
+    acked = len(oracle.acked)
+    return {
+        "mode": mode,
+        "wan_rtt": wan_rtt,
+        "seed": seed,
+        "regions": list(names),
+        "steps": steps,
+        "t_loss": t_loss,
+        "lost_region": lost_region,
+        "promoted_region": geo.primary_name,
+        "attempted": attempted,
+        "acked": acked,
+        "failed": len(oracle.failed),
+        "latency_p50_s": round(_percentile(pre_lat, 0.50), 6),
+        "latency_p95_s": round(_percentile(pre_lat, 0.95), 6),
+        "throughput_eps": round(acked / sim.now, 3) if sim.now else 0.0,
+        "rpo_bytes": geo.rpo_bytes_at_loss.get(geo.primary_name, 0),
+        "rpo_events": len(rpo_events),
+        "rto_s": rto_s,
+        "availability": round(within_sla / attempted, 6) if attempted else 1.0,
+        "max_lag_at_admission": geo.replication.max_lag_at_admission,
+        "staleness_bound_bytes": config.staleness_bound_bytes,
+        "timeline": geo.timeline,
+        "violations": violations,
+    }
+
+
+# ======================================================================
+# Geo fuzz (repro.faults.fuzz "geo" system)
+# ======================================================================
+def _geo_plan(
+    rng: random.Random, steps: int, names: Tuple[str, ...]
+) -> FaultPlan:
+    horizon = max(0.4, steps * 0.005)
+    plan = FaultPlan(seed=rng.randrange(2**31))
+    secondaries = list(names[1:])
+    n_rules = max(2, min(8, steps // 12))
+    for _ in range(n_rules):
+        kind = rng.choice(
+            ["wan_partition", "wan_delay", "wan_drop", "zk_expire",
+             "store_crash", "region_crash", "region_crash"]
+        )
+        if kind == "wan_partition":
+            a, b = rng.sample(list(names), 2)
+            plan.net_partition(
+                f"geo:{a}<->geo:{b}",
+                at=rng.uniform(0.05, horizon),
+                duration=rng.uniform(0.05, 0.3),
+            )
+        elif kind == "wan_delay":
+            plan.net_delay(
+                "geo:*", probability=rng.uniform(0.002, 0.02),
+                delay=rng.uniform(0.005, 0.05), repeat=True,
+            )
+        elif kind == "wan_drop":
+            plan.net_drop(
+                "geo:*", probability=rng.uniform(0.001, 0.008),
+                delay=rng.uniform(0.05, 0.25), repeat=True,
+            )
+        elif kind == "zk_expire":
+            plan.zk_expire(
+                rng.choice(["geo:*"] + [f"{n}:segmentstore-*" for n in names]),
+                at=rng.uniform(0.05, horizon),
+            )
+        elif kind == "store_crash":
+            region = rng.choice(list(names))
+            store = rng.randrange(2)
+            plan.crash_restart(
+                f"{region}:segmentstore-{store}",
+                at=rng.uniform(0.05, horizon),
+                downtime=rng.uniform(0.05, 0.3),
+                lose_unsynced=False,
+            )
+        elif kind == "region_crash":
+            plan.crash_restart(
+                f"region:{rng.choice(secondaries)}",
+                at=rng.uniform(0.05, horizon),
+                downtime=rng.uniform(0.1, 0.4),
+                lose_unsynced=False,
+            )
+    return plan
+
+
+def run_geo_fuzz(
+    seed: int, steps: int, plan: Optional[FaultPlan] = None
+) -> ScenarioResult:
+    sim = Simulator()
+    rng = random.Random(f"geo:{seed}")
+    names = ("east", "west", "south")[: rng.choice([2, 3])]
+    config = GeoConfig(regions=names, mode="async", wan_rtt=0.05)
+    geo = GeoCluster.build(sim, config)
+    sim.run_until_complete(geo.start(), timeout=300)
+
+    if plan is None:
+        plan = _geo_plan(rng, steps, names)
+    engine = FaultEngine(sim, plan)
+    for region in geo.regions.values():
+        wire_pravega(engine, region.cluster)
+    geo.wan.faults = engine
+    engine.register_zk(geo.global_zk)
+    for name in names[1:]:
+        # Whole-region loss/restore for secondaries.  The primary is
+        # never crashed wholesale: restore_region models rejoin of a
+        # never-diverged replica, and fuzz must heal to a clean state.
+        def region_crash(lose_unsynced: bool, name=name) -> None:
+            if name != geo.primary_name:
+                geo.lose_region(name)
+
+        def region_restore(name=name) -> None:
+            geo.restore_region(name)
+
+        engine.register_node(f"region:{name}", region_crash, region_restore)
+
+    oracle = HistoryOracle()
+    writers = {key: GeoWriter(geo, f"c-{key}") for key in KEYS}
+
+    def key_writer(key: str, count: int):
+        writer = writers[key]
+        for _ in range(count):
+            data, seq = oracle.next_event(key)
+            fut = writer.write_event(data, key=key)
+
+            def on_done(f, key=key, seq=seq) -> None:
+                if f.exception is None:
+                    oracle.mark_acked(key, seq)
+                else:
+                    oracle.mark_failed(key, seq)
+
+            fut.add_callback(on_done)
+            try:
+                yield fut
+            except Exception:
+                pass
+            yield sim.timeout(0.001 + rng.random() * 0.004)
+
+    procs = [
+        sim.process(key_writer(key, count))
+        for key, count in _split_steps(steps).items()
+    ]
+    engine.start()
+    try:
+        sim.run_until_complete(all_of(sim, procs), timeout=900)
+    except SimulationError:
+        pass
+
+    # Heal: quiesce, restore lost regions, recover every cluster.
+    engine.quiesce()
+    for name in names:
+        if not geo.regions[name].alive:
+            try:
+                sim.run_until_complete(geo.restore_region(name), timeout=120)
+            except SimulationError:
+                pass
+    for region in geo.regions.values():
+        heal_pravega(sim, region.cluster, engine)
+    # Replicators may have died against a mid-recovery destination;
+    # restart them (idempotent: fresh incarnations resume from the
+    # replica's applied length).
+    geo.replication.start_epoch()
+    _settle_replication(sim, geo)
+
+    primary = geo.regions[geo.primary_name]
+    _drain_stream(
+        sim,
+        primary.cluster,
+        oracle,
+        config.scope,
+        config.stream,
+        budget=10 * steps + 100,
+        host=f"{geo.primary_name}:bench-r",
+    )
+    violations = oracle.check(allow_duplicates=False)
+    violations += check_geo_replication(geo)
+    for region in geo.regions.values():
+        violations += check_pravega_tiering(region.cluster)
+    return ScenarioResult(
+        "geo", seed, steps, plan, oracle, violations, list(engine.injected),
+        extra={
+            "regions": float(len(names)),
+            "shipments": float(geo.replication.shipments),
+            "bytes_shipped": float(geo.replication.bytes_shipped),
+            "max_lag_at_admission": float(
+                geo.replication.max_lag_at_admission
+            ),
+        },
+    )

@@ -1,0 +1,219 @@
+"""Geo-aware client writer: async (primary-only) or global-strong.
+
+The writer lives on its own WAN host and keeps one regional
+:class:`EventStreamWriter` per region (distinct writer ids per region,
+so regional exactly-once dedup applies to its own resends but *not*
+across regions — cross-region re-issues after failover can duplicate,
+which is why failover readbacks allow duplicates in async mode).
+
+**Async**: admit through the replication staleness gate, one WAN round
+trip to the current primary, append there, ack.  In-flight appends are
+raced against the cluster epoch counter: the instant a survivor is
+promoted, the writer abandons the old primary's retry backoff and
+re-issues at the new one — that race, not the regional client's ~5 s
+retry budget, is what bounds RTO.
+
+**Global-strong**: a cross-region CAS on the witness sequencer orders
+the write globally (this is the latency price: one witness round trip
+per write even before shipping data), then the event is appended to
+*every* live region in parallel and acked only when all succeed.
+Membership changes re-issue against the new live set, so a region loss
+never loses an acked event (RPO = 0).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.core import SimFuture, all_of
+from repro.zookeeper.service import (
+    BadVersionError,
+    NoNodeError,
+    SessionExpiredError,
+)
+
+#: event framing overhead (8-byte length prefix), matches common.framing
+FRAME_OVERHEAD = 8
+#: WAN request/response envelope bytes per hop
+ENVELOPE = 64
+
+__all__ = ["GeoWriter"]
+
+
+class GeoWriter:
+    def __init__(self, geo, client_id: str) -> None:
+        self.geo = geo
+        self.client_id = client_id
+        self.wan_host = f"geo:client-{client_id}"
+        self._regional: Dict[str, object] = {}
+        self._zk = None
+        self._seq_version: Optional[int] = None
+        self.acked = 0
+        self.failed = 0
+
+    def _writer_for(self, region_name: str):
+        writer = self._regional.get(region_name)
+        if writer is None:
+            region = self.geo.regions[region_name]
+            writer = region.cluster.create_writer(
+                f"{region_name}:geo-{self.client_id}",
+                self.geo.config.scope,
+                self.geo.config.stream,
+                writer_id=f"{self.client_id}@{region_name}",
+            )
+            self._regional[region_name] = writer
+        return writer
+
+    def write_event(self, data: bytes, key: Optional[str] = None) -> SimFuture:
+        """Resolves with ``{"epoch": n, "region": name}`` once acked."""
+        result = self.geo.sim.future()
+        if self.geo.config.mode == "global_strong":
+            proc = self.geo.sim.process(self._write_strong(data, key, result))
+        else:
+            proc = self.geo.sim.process(self._write_async(data, key, result))
+
+        def forward(p: SimFuture) -> None:
+            if p.exception is not None and not result.done:
+                result.set_exception(p.exception)
+
+        proc.add_callback(forward)
+        return result
+
+    # ------------------------------------------------------------------
+    def _race(self, fut: SimFuture, change: SimFuture) -> SimFuture:
+        """Resolves True if ``change`` fires before ``fut`` completes."""
+        race = self.geo.sim.future()
+
+        def on_fut(_: SimFuture) -> None:
+            if not race.done:
+                race.set_result(False)
+
+        def on_change(_: SimFuture) -> None:
+            if not race.done:
+                race.set_result(True)
+
+        fut.add_callback(on_fut)
+        change.add_callback(on_change)
+        return race
+
+    # ------------------------------------------------------------------
+    def _write_async(self, data: bytes, key: Optional[str], result: SimFuture):
+        geo = self.geo
+        frame = len(data) + FRAME_OVERHEAD
+        while True:
+            yield geo.primary_ready()
+            gate = geo.replication.admit(frame)
+            if gate is not None:
+                yield gate
+                continue
+            epoch = geo.epoch
+            primary = geo.primary_name
+            region = geo.regions[primary]
+            try:
+                yield geo.wan.transfer(
+                    self.wan_host, region.wan_host, frame + ENVELOPE
+                )
+                fut = self._writer_for(primary).write_event(data, routing_key=key)
+                switched = yield self._race(fut, geo.epoch_change(epoch))
+                if switched and not fut.done:
+                    # Promotion happened mid-flight: abandon the old
+                    # primary's retries, re-issue at the new one (a
+                    # cross-region duplicate is possible and legal).
+                    continue
+                yield fut
+                yield geo.wan.transfer(
+                    region.wan_host, self.wan_host, ENVELOPE
+                )
+            except Exception:
+                if geo.epoch != epoch or not region.alive:
+                    continue  # failover path: re-issue
+                self.failed += 1
+                raise
+            finally:
+                geo.replication.settle(frame)
+            self.acked += 1
+            result.set_result({"epoch": epoch, "region": primary})
+            return
+
+    # ------------------------------------------------------------------
+    def _seq_cas(self):
+        """One witness CAS: globally orders this write.  Reconnects on
+        expired sessions, refreshes the cached version on conflicts."""
+        geo = self.geo
+        while True:
+            if self._zk is None or not self._zk.alive:
+                self._zk = geo.global_zk.connect(self.wan_host)
+                self._seq_version = None
+            try:
+                if self._seq_version is None:
+                    _, stat = yield self._zk.get("/geo/seq")
+                    self._seq_version = stat.version
+                stat = yield self._zk.set(
+                    "/geo/seq",
+                    str(self._seq_version + 1).encode(),
+                    expected_version=self._seq_version,
+                )
+                self._seq_version = stat.version
+                return
+            except BadVersionError:
+                self._seq_version = None
+            except (SessionExpiredError, NoNodeError):
+                self._zk = None
+                yield geo.sim.timeout(0.01)
+
+    def _append_one(self, region_name: str, data: bytes, key: Optional[str]):
+        geo = self.geo
+        region = geo.regions[region_name]
+        frame = len(data) + FRAME_OVERHEAD
+        yield geo.wan.transfer(self.wan_host, region.wan_host, frame + ENVELOPE)
+        yield self._writer_for(region_name).write_event(data, routing_key=key)
+        yield geo.wan.transfer(region.wan_host, self.wan_host, ENVELOPE)
+
+    def _write_strong(self, data: bytes, key: Optional[str], result: SimFuture):
+        geo = self.geo
+        yield from self._seq_cas()
+        done_regions = set()  # regions where this event already landed
+        while True:
+            yield geo.primary_ready()
+            generation = geo.generation
+            targets = [
+                r.name
+                for r in geo.live_regions()
+                if r.name not in done_regions
+            ]
+            if not targets:
+                break
+            procs = {
+                name: geo.sim.process(self._append_one(name, data, key))
+                for name in targets
+            }
+            allf = all_of(geo.sim, list(procs.values()))
+            switched = yield self._race(allf, geo.generation_change(generation))
+            harvest = (
+                lambda: done_regions.update(
+                    name
+                    for name, p in procs.items()
+                    if p.done and p.exception is None
+                )
+            )
+            if switched and not allf.done:
+                # Membership changed mid-write: keep what landed, re-issue
+                # only to live regions still missing the event.  A region
+                # whose in-flight append we abandon here may still apply
+                # it later — a duplicate, which failover readbacks allow.
+                harvest()
+                yield geo.sim.timeout(0.001)
+                continue
+            try:
+                yield allf
+            except Exception:
+                if geo.generation != generation:
+                    harvest()
+                    continue
+                self.failed += 1
+                raise
+            done_regions.update(procs)
+            break
+        self.acked += 1
+        result.set_result({"epoch": geo.epoch, "region": geo.primary_name})
+        return

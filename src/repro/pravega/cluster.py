@@ -55,6 +55,10 @@ class PravegaClusterConfig:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     #: optional override for the LTS performance envelope
     lts_spec: Optional["LtsSpec"] = None
+    #: prefix for every host name ("east:" gives "east:segmentstore-0");
+    #: lets several clusters coexist in one simulation (repro.geo regions)
+    #: with globally unique node names for fault registration
+    host_prefix: str = ""
 
 
 class PravegaCluster:
@@ -97,7 +101,7 @@ class PravegaCluster:
             sim, zk_service, config.num_containers
         )
         for i in range(config.num_segment_stores):
-            host = f"segmentstore-{i}"
+            host = f"{config.host_prefix}segmentstore-{i}"
             # Bookie colocated with the segment store (Table 1), sharing
             # the host but with a dedicated journal drive.
             disk = Disk(sim, config.disk)
@@ -108,7 +112,12 @@ class PravegaCluster:
             )
             store_cluster.add_store(store)
         controller = Controller(
-            sim, network, store_cluster, "controller", config.controller, metrics
+            sim,
+            network,
+            store_cluster,
+            f"{config.host_prefix}controller",
+            config.controller,
+            metrics,
         )
         return cls(
             sim,

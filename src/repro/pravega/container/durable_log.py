@@ -365,6 +365,7 @@ class DurableLog:
                 ledger_ids = json.loads(data.decode()) if data else []
             except NoNodeError:
                 ledger_ids = []
+            recovered_infos: List[_LedgerInfo] = []
             for ledger_id in ledger_ids:
                 if bk_client.cluster.ledger_manager.lookup(ledger_id) is None:
                     continue  # already truncated
@@ -372,16 +373,27 @@ class DurableLog:
                     # replay is re-injectable: a crash here aborts recovery
                     faults.recovery_step(site)
                 handle = yield bk_client.open_ledger_with_recovery(ledger_id)
+                info = _LedgerInfo(ledger_id, first_sequence=0)
                 last = handle.metadata.last_entry_id
                 if last >= 0:
                     entries = yield handle.read(0, last)
                     for entry in entries:
                         if isinstance(entry.record, DataFrame):
                             frames.append(entry.record)
+                            if info.last_sequence < 0:
+                                info.first_sequence = entry.record.first_sequence
+                            info.last_sequence = entry.record.last_sequence
+                            info.size += entry.record.serialized_size
+                recovered_infos.append(info)
             max_seq = -1
             for frame in frames:
                 max_seq = max(max_seq, frame.last_sequence)
             log._next_sequence = max_seq + 1
+            # The surviving ledgers stay on the new log's ledger list:
+            # until a checkpoint + flush lets truncation delete them, they
+            # are the only durable copy of the replayed operations, and a
+            # repeat crash before that must be able to find them again.
+            log._ledgers.extend(recovered_infos)
             yield log.start()
             return frames, log
 

@@ -1,8 +1,8 @@
 """Suite-wide collection honesty.
 
 The suite grew domain markers (``perf``, ``faults``, ``trace``,
-``workload``, ``fluid``, ``capacity``, ``gate``) that Make targets
-select with ``-m``.  Two silent-skip hazards come with that:
+``workload``, ``fluid``, ``capacity``, ``gate``, ``geo``) that Make
+targets select with ``-m``.  Two silent-skip hazards come with that:
 
 * a typo'd ``-m`` expression (or a typo'd marker on a test) deselects
   tests without any trace — ``--strict-markers`` (pyproject) rejects
@@ -27,6 +27,7 @@ DOMAIN_MARKERS = (
     "fluid",
     "capacity",
     "gate",
+    "geo",
 )
 
 _deselected: List[object] = []

@@ -1,0 +1,49 @@
+"""Golden geo-failover fixture: one scripted region loss at seed 7.
+
+Same contract as the golden kernel/trace/capacity fixtures: the
+committed JSON under ``tests/data/golden_geo.json`` must regenerate
+**byte for byte**.  The record is the full :func:`run_region_loss`
+report — including the failover ``timeline`` (region_lost,
+sessions_expired, leader_elected, primary_promoted,
+replicator_caught_up, first_post_failover_ack...) with event
+timestamps — so any drift in replication pacing, witness-session
+expiry, election latency or promotion order shows up as a one-line
+diff against this file.
+
+Regenerate (only when such a change is intentional)::
+
+    PYTHONPATH=src python tests/golden_geo.py > tests/data/golden_geo.json
+
+The configuration is deliberately small (metro RTT, 40 events, three
+regions) so the byte-identity test stays under a couple of seconds;
+``BENCH_geo.json`` is the full two-mode three-tier sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.geo.scenarios import run_region_loss
+
+GOLDEN_SEED = 7
+GOLDEN_RTT = 0.02
+GOLDEN_STEPS = 40
+GOLDEN_REGIONS = 3
+
+
+def build_geo_golden() -> dict:
+    return run_region_loss(
+        mode="async",
+        wan_rtt=GOLDEN_RTT,
+        seed=GOLDEN_SEED,
+        regions=GOLDEN_REGIONS,
+        steps=GOLDEN_STEPS,
+    )
+
+
+def render(report: dict) -> str:
+    return json.dumps(report, indent=1, sort_keys=True) + "\n"
+
+
+if __name__ == "__main__":
+    print(render(build_geo_golden()), end="")

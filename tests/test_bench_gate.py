@@ -162,6 +162,40 @@ def test_structure_check_rejects_failed_suite_scenario(committed):
     assert any(d.path.endswith(".ok") for d in drifts)
 
 
+def test_structure_check_rejects_bad_geo_points(committed):
+    # a lost acked write in global-strong mode
+    files = copy.deepcopy(committed)
+    for point in files["BENCH_geo.json"]["points"]:
+        if point["mode"] == "global_strong":
+            point["rpo_bytes"] = 120
+            break
+    drifts = structure_checks(files)
+    assert any("rpo_bytes" in d.path and d.file == "BENCH_geo.json" for d in drifts)
+
+    # admission lag over the configured staleness bound
+    files = copy.deepcopy(committed)
+    for point in files["BENCH_geo.json"]["points"]:
+        if point["mode"] == "async":
+            point["max_lag_at_admission"] = point["staleness_bound_bytes"] + 1
+            break
+    drifts = structure_checks(files)
+    assert any("max_lag_at_admission" in d.path for d in drifts)
+
+    # a point that never measured failover recovery
+    files = copy.deepcopy(committed)
+    files["BENCH_geo.json"]["points"][0]["rto_s"] = None
+    drifts = structure_checks(files)
+    assert any(d.path.endswith(".rto_s") for d in drifts)
+
+    # a thinned sweep (fewer than 2 modes x 3 tiers)
+    files = copy.deepcopy(committed)
+    files["BENCH_geo.json"]["points"] = files["BENCH_geo.json"]["points"][:4]
+    drifts = structure_checks(files)
+    assert any(
+        d.path == "points" and d.file == "BENCH_geo.json" for d in drifts
+    )
+
+
 def test_cross_file_disagreement_is_reported(committed):
     files = copy.deepcopy(committed)
     files["BENCH_workload.json"]["scenarios"][0]["kernel_events"] += 1

@@ -1,0 +1,177 @@
+"""Geo-replication properties: staleness, failover ordering, RPO/RTO.
+
+The multi-region deployment (repro.geo) makes four promises the bench
+numbers alone don't pin down:
+
+* **bounded staleness** — in async mode the admission gate keeps
+  acked-but-unreplicated bytes within the configured bound even under
+  bursty (2-state MMPP) load, at every WAN tier;
+* **per-key order across failover** — after the primary region is
+  lost and a survivor promoted, readback from the new primary yields
+  every key's events in order, with no acked event served by a
+  surviving region missing;
+* **RPO = 0 in global-strong mode** — a write acks only once every
+  live region holds it, so losing any one region loses nothing;
+* **election convergence** — witness session-expiry storms may
+  transiently unseat leaders, but the cluster settles back to exactly
+  one leader and a live primary.
+
+Plus the golden failover fixture: the full seed-7 region-loss report
+(timeline included) must regenerate byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from golden_geo import build_geo_golden, render
+
+from repro.geo import GeoCluster, GeoConfig, GeoWriter
+from repro.geo.scenarios import RTT_TIERS, run_region_loss
+from repro.sim.core import Simulator
+from repro.workload import MMPP
+
+pytestmark = pytest.mark.geo
+
+DATA = Path(__file__).parent / "data"
+
+TIERS = sorted(RTT_TIERS)
+
+
+# ----------------------------------------------------------------------
+# Bounded staleness under bursty load
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tier", TIERS)
+def test_async_staleness_bounded_under_mmpp(tier: str) -> None:
+    """The admission gate holds the staleness bound against MMPP bursts.
+
+    A tight bound (4 KiB) against a bursty arrival process is exactly
+    the case where an unbounded replicator would fall behind: the
+    burst state emits far faster than one WAN round trip per batch can
+    drain.  Every admission must still observe lag + inflight within
+    the bound, and the steady (applied) lag may overshoot by at most
+    one frame.
+    """
+    bound = 4096
+    sim = Simulator()
+    geo = GeoCluster.build(sim, GeoConfig(
+        regions=("east", "west"),
+        mode="async",
+        wan_rtt=RTT_TIERS[tier],
+        staleness_bound_bytes=bound,
+    ))
+    sim.run_until_complete(geo.start(), timeout=300)
+    writer = GeoWriter(geo, "burst")
+    arrivals = MMPP(rates_eps=(50.0, 2000.0), mean_dwell=(0.2, 0.1))
+    sampler = arrivals.sampler(seed=13)
+
+    frame = len(b"k|000000") + 8  # event frame as admitted by the gate
+
+    def load():
+        sent = 0
+        t = sim.now
+        while sent < 120:
+            tick = 0.01
+            yield sim.timeout(tick)
+            burst = sampler.events(t, t + tick)
+            t += tick
+            for _ in range(min(burst, 120 - sent)):
+                payload = f"k|{sent:06d}".encode()
+                yield writer.write_event(payload, key="k")
+                sent += 1
+
+    sim.run_until_complete(sim.process(load()), timeout=600)
+    rep = geo.replication
+    assert rep.max_lag_at_admission <= bound, (
+        f"admission observed lag {rep.max_lag_at_admission} over the "
+        f"{bound}B bound at {tier} RTT"
+    )
+    assert rep.max_steady_lag_bytes <= bound + frame, (
+        f"applied lag {rep.max_steady_lag_bytes} exceeded bound + one "
+        f"frame ({bound + frame}B) at {tier} RTT"
+    )
+    assert rep.shipments > 0, "replicator never shipped anything"
+
+
+# ----------------------------------------------------------------------
+# Failover ordering and RPO/RTO, all tiers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tier", TIERS)
+def test_per_key_order_across_failover(tier: str) -> None:
+    """Scripted primary loss: the promoted survivor serves every key's
+    surviving events in order, with a measured RTO and no oracle
+    violations (which include ordering and durability checks)."""
+    result = run_region_loss(
+        mode="async", wan_rtt=RTT_TIERS[tier], seed=11, regions=3, steps=32,
+    )
+    assert result["violations"] == [], result["violations"]
+    assert result["promoted_region"] != result["lost_region"]
+    assert result["rto_s"] is not None and result["rto_s"] > 0
+    assert result["acked"] > 0
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_global_strong_rpo_is_zero(tier: str) -> None:
+    """Global-strong acks only after every live region applied the
+    write: losing the primary must lose zero acked bytes/events."""
+    result = run_region_loss(
+        mode="global_strong",
+        wan_rtt=RTT_TIERS[tier],
+        seed=11,
+        regions=3,
+        steps=24,
+    )
+    assert result["violations"] == [], result["violations"]
+    assert result["rpo_bytes"] == 0
+    assert result["rpo_events"] == 0
+    assert result["rto_s"] is not None
+
+
+# ----------------------------------------------------------------------
+# Election convergence under witness-session storms
+# ----------------------------------------------------------------------
+def test_election_converges_after_expiry_storm() -> None:
+    """Repeated witness session expiries unseat whoever leads; once the
+    storm stops, exactly one live region leads and the primary is
+    live.  The primary pointer only ever names a live region."""
+    sim = Simulator()
+    geo = GeoCluster.build(sim, GeoConfig(
+        regions=("east", "west", "south"), mode="async", wan_rtt=0.02,
+    ))
+    sim.run_until_complete(geo.start(), timeout=300)
+    for _ in range(4):
+        sim.run(until=sim.now + 0.3)
+        geo.global_zk.expire_sessions_for_host("geo:*")
+        assert geo.regions[geo.primary_name].alive
+    sim.run(until=sim.now + 5.0)
+    leaders = geo.failover.leaders()
+    assert len(leaders) == 1, f"leadership did not converge: {leaders}"
+    assert geo.regions[geo.primary_name].alive
+    # a storm is not a region loss: nobody should have been promoted
+    # away from a live primary
+    assert geo.primary_name == "east"
+
+
+# ----------------------------------------------------------------------
+# Golden failover fixture
+# ----------------------------------------------------------------------
+def test_golden_geo_fixture_is_byte_identical() -> None:
+    committed = (DATA / "golden_geo.json").read_text()
+    assert render(build_geo_golden()) == committed, (
+        "golden geo failover report drifted from tests/data/golden_geo.json; "
+        "if the change is intentional regenerate with "
+        "`PYTHONPATH=src python tests/golden_geo.py > tests/data/golden_geo.json`"
+    )
+
+
+def test_golden_geo_fixture_shape() -> None:
+    report = json.loads((DATA / "golden_geo.json").read_text())
+    assert report["seed"] == 7
+    assert report["violations"] == []
+    events = [entry["event"] for entry in report["timeline"]]
+    for expected in ("region_lost", "leader_elected", "primary_promoted"):
+        assert expected in events, f"timeline lacks {expected}: {events}"
+    assert report["promoted_region"] != report["lost_region"]
