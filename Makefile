@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test geo geo-check geo-test
+.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test geo geo-check geo-test read read-check read-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -113,3 +113,19 @@ geo-check:
 ## RPO/RTO oracle, election convergence, golden failover timeline)
 geo-test:
 	$(PYTHON) -m pytest -q -m geo
+
+## full read-path serving benchmark: tail fan-out vs reader count, mass
+## replay with coalescing off/on, cache policy matrix, reader-heavy
+## best-of-5 walls; writes BENCH_read.json
+read:
+	$(PYTHON) benchmarks/bench_read.py
+
+## read smoke: cheap fan-out/replay/policy points, claim asserts only
+read-check:
+	$(PYTHON) benchmarks/bench_read.py --check
+
+## read-marked tier-1 tests only (tail read-your-writes, eviction
+## byte-identity, coalesced failure fan-out, waiter lifecycle, golden
+## default-path guard)
+read-test:
+	$(PYTHON) -m pytest -q -m read

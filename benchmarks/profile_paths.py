@@ -52,6 +52,12 @@ ADAPTERS = {
 
 #: module-prefix -> subsystem bucket, most specific first
 SUBSYSTEMS = [
+    # Split the Pravega read/serve path out of the blanket bucket: the
+    # container (read index, cache manager, tail fan-out) and the client
+    # (readers, reader groups) attribute separately, so a read-heavy
+    # profile shows where serving-tier work actually lands.
+    "repro.pravega.container",
+    "repro.pravega.client",
     "repro.pravega",
     "repro.kafka",
     "repro.pulsar",
@@ -73,6 +79,18 @@ def _bucket(module: str) -> str:
 
 
 def _spec(args: argparse.Namespace) -> WorkloadSpec:
+    if args.mix == "read":
+        # Read-heavy: one producer, a fan of tail consumers — the
+        # serving-tier profile (who pays for mass tail delivery).
+        return WorkloadSpec(
+            event_size=100,
+            target_rate=args.rate,
+            partitions=2,
+            producers=1,
+            consumers=args.readers,
+            duration=args.duration,
+            warmup=0.5,
+        )
     return WorkloadSpec(
         event_size=100,
         target_rate=args.rate,
@@ -127,17 +145,17 @@ class AttributingSimulator(Simulator):
             | set(self.futures)
         )
         print(
-            f"  {'subsystem':<18} {'processes':>10} {'microtasks':>11} "
+            f"  {'subsystem':<24} {'processes':>10} {'microtasks':>11} "
             f"{'timers':>9} {'futures':>9}"
         )
         for bucket in rows:
             print(
-                f"  {bucket:<18} {self.processes[bucket]:>10,} "
+                f"  {bucket:<24} {self.processes[bucket]:>10,} "
                 f"{self.microtasks[bucket]:>11,} {self.timers[bucket]:>9,} "
                 f"{self.futures[bucket]:>9,}"
             )
         print(
-            f"  {'(kernel totals)':<18} events_executed={stats.events_executed:,} "
+            f"  {'(kernel totals)':<24} events_executed={stats.events_executed:,} "
             f"microtasks_executed={stats.microtasks_executed:,} "
             f"heap_peak={stats.heap_peak:,} compactions={stats.compactions}"
         )
@@ -189,7 +207,7 @@ def _report_cprofile(stats: pstats.Stats, top: int) -> None:
         rows.append((tottime, ncalls, cumtime, f"{module}:{lineno}({funcname})"))
     print("  --- cProfile tottime by subsystem ---")
     for bucket, tottime in by_bucket.most_common():
-        print(f"  {bucket:<18} {tottime * 1e3:9.1f} ms")
+        print(f"  {bucket:<24} {tottime * 1e3:9.1f} ms")
     print(f"  --- top {top} functions by tottime ---")
     rows.sort(reverse=True)
     for tottime, ncalls, cumtime, where in rows[:top]:
@@ -207,6 +225,15 @@ def main() -> None:
     )
     parser.add_argument("--rate", type=float, default=20_000.0)
     parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument(
+        "--mix", choices=["balanced", "read"], default="balanced",
+        help="workload shape: balanced produce/consume, or read-heavy "
+        "(one producer, --readers tail consumers)",
+    )
+    parser.add_argument(
+        "--readers", type=int, default=16,
+        help="tail consumers in --mix read (default 16)",
+    )
     parser.add_argument("--top", type=int, default=20)
     parser.add_argument(
         "--no-cprofile", dest="cprofile", action="store_false",

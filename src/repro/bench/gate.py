@@ -347,6 +347,50 @@ def structure_checks(files: Dict[str, dict], min_capacity_points: int = 6) -> Li
                         f"points[{label}].max_lag_at_admission", lag,
                         f"admission lag within the {bound}B staleness bound")
 
+    read = files.get("BENCH_read.json")
+    if read is not None:
+        points = (read.get("fanout") or {}).get("points") or []
+        if not any(p.get("readers", 0) >= 1000 for p in points):
+            bad("BENCH_read.json", "fanout.points",
+                [p.get("readers") for p in points],
+                "a fan-out point with >= 1000 concurrent readers")
+        for point in points:
+            label = f"fanout.points[{point.get('readers')}]"
+            if not point.get("caught_up", False):
+                bad("BENCH_read.json", f"{label}.caught_up",
+                    point.get("caught_up"), "all readers caught up")
+            for key in ("kernel_events", "sim_time_s"):
+                if key not in point:
+                    bad("BENCH_read.json", f"{label}.{key}",
+                        sorted(point), f"point with a {key} field")
+        replay = read.get("replay") or {}
+        off, on = replay.get("off"), replay.get("on")
+        if off is None or on is None:
+            bad("BENCH_read.json", "replay", sorted(replay),
+                "off + on coalescing records")
+        else:
+            if on.get("lts_fetch_ops", 0) > off.get("lts_fetch_ops", 0):
+                bad("BENCH_read.json", "replay.on.lts_fetch_ops",
+                    on.get("lts_fetch_ops"),
+                    f"<= uncoalesced ops ({off.get('lts_fetch_ops')!r})")
+            if on.get("delivered_bytes") != off.get("delivered_bytes"):
+                bad("BENCH_read.json", "replay.on.delivered_bytes",
+                    on.get("delivered_bytes"),
+                    f"byte parity with off ({off.get('delivered_bytes')!r})")
+            for mode, record in (("off", off), ("on", on)):
+                for key in ("kernel_events", "sim_time_s"):
+                    if key not in record:
+                        bad("BENCH_read.json", f"replay.{mode}.{key}",
+                            sorted(record), f"record with a {key} field")
+        for name, policy in (read.get("policies") or {}).items():
+            for key in ("hit_rate", "hot_hit_rate"):
+                rate = policy.get(key)
+                if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                    bad("BENCH_read.json", f"policies[{name}].{key}",
+                        rate, "a hit rate in [0, 1]")
+        if "seed" not in read:
+            bad("BENCH_read.json", "seed", sorted(read), "a recorded seed")
+
     # Cross-file agreement: a scenario recorded in two files must agree
     # on its deterministic fields (wall fields are per-run).
     suite = files.get("BENCH_suite.json")

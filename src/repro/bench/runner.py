@@ -190,6 +190,9 @@ class WorkloadEngine:
         result = self.result
         counters = self.counters
         observer = self.observer
+        # Optional read-SLI hook: trackers without one (or plain observers)
+        # cost a single None check per delivery on the consumer hot path.
+        on_delivery = getattr(observer, "on_delivery", None)
 
         if hasattr(self.client, "total_consumers"):
             self.client.total_consumers = max(spec.consumers, 1)
@@ -352,9 +355,13 @@ class WorkloadEngine:
                     if group_count <= take:
                         queue.popleft()
                         result.e2e_latency.record(now - send_time)
+                        if on_delivery is not None:
+                            on_delivery(send_time, take, now - send_time)
                     else:
                         queue[0] = (group_count - take, send_time)
                         result.e2e_latency.record(now - send_time)
+                        if on_delivery is not None:
+                            on_delivery(send_time, take, now - send_time)
                         break
 
         # --------------------------------------------------------------

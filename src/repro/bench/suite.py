@@ -82,11 +82,13 @@ def _registry() -> Dict[str, Scenario]:
         ("workload_diurnal", "bench_workload", "test_workload_diurnal_autoscaling", 8),
         ("workload_flash", "bench_workload", "test_workload_flash_crowd", 8),
         ("workload_slo", "bench_workload", "test_workload_multi_tenant_slo", 6),
+        ("fig08c", "bench_read", "test_fig08c_tail_fanout", 4),
+        ("fig12b", "bench_read", "test_fig12b_replay_coalescing", 4),
     ]
     entries: Dict[str, Scenario] = {}
     for i, (name, module, func, weight) in enumerate(figure):
         entries[name] = Scenario(name, module, func, seed=1000 + i, weight=weight)
-    for i, system in enumerate(("pravega", "kafka", "pulsar", "workload", "geo")):
+    for i, system in enumerate(("pravega", "kafka", "pulsar", "workload", "geo", "read")):
         name = f"smoke_{system}"
         entries[name] = Scenario(
             name, "", f"_smoke_{system}", seed=2000 + i, weight=1, smoke=True
@@ -188,6 +190,36 @@ def _smoke_geo(benchmark) -> None:
         "rto_s": result["rto_s"],
         "promoted_region": result["promoted_region"],
         "violations": len(result["violations"]),
+    })
+
+
+def _smoke_read(benchmark) -> None:
+    """Serving-tier read path end to end: shared tail fan-out delivery
+    plus a coalescing off/on replay of an LTS-resident backlog (the
+    repro.pravega read-path, serving features ON)."""
+    bench_dir = str(_bench_dir())
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import importlib
+
+    bench_read = importlib.import_module("bench_read")
+    fanout = bench_read.run_fanout(readers=8, events=8)
+    off = bench_read.run_replay(
+        False, readers=4, backlog_bytes=3 * 1024 * 1024, cache_bytes=2 * 1024 * 1024
+    )
+    on = bench_read.run_replay(
+        True, readers=4, backlog_bytes=3 * 1024 * 1024, cache_bytes=2 * 1024 * 1024
+    )
+    benchmark.extra_info.update({
+        "fanout.delivered_events": fanout["delivered_events"],
+        "fanout.caught_up": fanout["caught_up"],
+        "fanout.p50_ms": fanout["p50_ms"],
+        "fanout.kernel_events": fanout["kernel_events"],
+        "replay.off_lts_fetch_ops": off["lts_fetch_ops"],
+        "replay.on_lts_fetch_ops": on["lts_fetch_ops"],
+        "replay.coalesced_fetches": on["coalesced_fetches"],
+        "replay.delivered_bytes": on["delivered_bytes"],
+        "replay.bytes_equal": on["delivered_bytes"] == off["delivered_bytes"],
     })
 
 

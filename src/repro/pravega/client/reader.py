@@ -11,6 +11,7 @@ reader group, which enforces the merge hold-back rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional
 
 from repro.common.errors import ReaderError, SegmentError, StreamError
@@ -36,7 +37,7 @@ class ReaderConfig:
     acquire_interval: float = 0.1
 
 
-@dataclass
+@dataclass(slots=True)
 class EventBatch:
     """What one segment read yielded."""
 
@@ -80,6 +81,8 @@ class EventStreamReader:
         self._round_robin: List[int] = []
         #: one outstanding read per segment: number -> (offset, future)
         self._outstanding: Dict[int, tuple] = {}
+        #: per-segment completion callbacks, bound once per segment number
+        self._completions: Dict[int, object] = {}
         #: completion queue of segment numbers with finished reads
         self._ready = Store(sim)
         self.events_read = 0
@@ -126,28 +129,39 @@ class EventStreamReader:
             raise ReaderError(f"{self.reader_id} has not joined the group")
 
         def run():
+            segments = self._segments
+            outstanding = self._outstanding
+            completions = self._completions
+            offsets = self._offsets
+            stores = self._stores
+            host = self.host
+            read_size = self.config.read_size
+            ready_get = self._ready.get
             while True:
-                if not self._segments:
+                if not segments:
                     yield self.sim.timeout(self.config.acquire_interval)
                     yield from self._acquire()
                     continue
                 # Ensure one outstanding read per assigned segment.
-                for number in list(self._segments):
-                    if number in self._outstanding:
+                for number, (qualified, store_host) in segments.items():
+                    if number in outstanding:
                         continue
-                    qualified, store_host = self._segments[number]
-                    store = self._stores[store_host]
-                    offset = self._offsets[number]
-                    read = store.rpc_read(
-                        self.host, qualified, offset, self.config.read_size
+                    offset = offsets[number]
+                    read = stores[store_host].rpc_read(
+                        host, qualified, offset, read_size
                     )
-                    self._outstanding[number] = (offset, read)
-                    read.add_callback(lambda f, n=number: self._ready.put(n))
-                number = yield self._ready.get()
-                if number not in self._outstanding:
+                    outstanding[number] = (offset, read)
+                    callback = completions.get(number)
+                    if callback is None:
+                        callback = completions[number] = partial(
+                            self._note_ready, number
+                        )
+                    read.add_callback(callback)
+                number = yield ready_get()
+                if number not in outstanding:
                     continue  # stale completion (segment released)
-                offset, fut = self._outstanding.pop(number)
-                if number not in self._segments:
+                offset, fut = outstanding.pop(number)
+                if number not in segments:
                     continue  # segment was released while the read was out
                 try:
                     result = fut.value
@@ -157,7 +171,7 @@ class EventStreamReader:
                     yield from self._complete_segment(number)
                     continue
                 batch = self._decode(number, offset, result.payload)
-                self._offsets[number] = offset + result.payload.size
+                offsets[number] = offset + result.payload.size
                 if batch.event_count == 0:
                     # Only a partial frame arrived; keep reading.
                     continue
@@ -166,6 +180,9 @@ class EventStreamReader:
                 return batch
 
         return self.sim.process(run())
+
+    def _note_ready(self, number: int, _future) -> None:
+        self._ready.put(number)
 
     def _decode(self, number: int, offset: int, payload) -> EventBatch:
         batch = EventBatch(
@@ -225,7 +242,15 @@ class EventStreamReader:
                 self._offsets.pop(number, None)
                 self._remainders.pop(number, None)
                 self._synthetic_remainders.pop(number, None)
-                self._outstanding.pop(number, None)
+                pending = self._outstanding.pop(number, None)
+                if pending is not None:
+                    _, read = pending
+                    # Cancel the parked server-side read so the container
+                    # drops this reader from its tail wakeup list instead
+                    # of pinning the payload until the next append.
+                    interrupt = getattr(read, "interrupt", None)
+                    if interrupt is not None and not read.done:
+                        interrupt()
                 if number in self._round_robin:
                     self._round_robin.remove(number)
 

@@ -118,7 +118,7 @@ class ReaderGroup:
 
         def updater(state):
             acquired.clear()
-            if reader_id not in state["readers"]:
+            if not state["unassigned"] or reader_id not in state["readers"]:
                 return None
             total = len(state["unassigned"]) + sum(
                 len(s) for s in state["assigned"].values()

@@ -58,6 +58,7 @@ from repro.zookeeper.service import ZkClient
 
 __all__ = [
     "ContainerConfig",
+    "ServingConfig",
     "SegmentState",
     "SegmentInfo",
     "ReadResult",
@@ -67,10 +68,37 @@ __all__ = [
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Read-path serving-tier policy knobs (DESIGN.md §13).
+
+    The defaults reproduce the pre-serving-tier behavior exactly —
+    golden kernel/trace/figure fixtures are byte-identical with this
+    config — so scenarios opt in per cluster.
+    """
+
+    #: single-flight coalescing of LTS chunk fetches: concurrent readers
+    #: (and read-ahead) of the same cold chunk share one storage read
+    coalesce_lts_fetches: bool = False
+    #: CacheManager admission of LTS-fetched runs: "always" admits
+    #: directly; "second_touch" starts runs on probation (a one-pass
+    #: mass replay cannot evict the tail working set)
+    admission_policy: str = "always"
+    #: CacheManager eviction order: "generation" (Pravega's native
+    #: scheme), "lru", or "2q" (lru + second-touch shorthand)
+    eviction_policy: str = "generation"
+    #: park tail reads as bare futures resolved directly by the shared
+    #: append fan-out, skipping the per-request reader process; changes
+    #: kernel event counts, so mass fan-out scenarios opt in explicitly
+    direct_tail_delivery: bool = False
+
+
+@dataclass(frozen=True)
 class ContainerConfig:
     durable_log: DurableLogConfig = field(default_factory=DurableLogConfig)
     storage: StorageWriterConfig = field(default_factory=StorageWriterConfig)
     cache: CacheSpec = field(default_factory=CacheSpec)
+    #: read-path serving-tier policies (coalescing, admission, eviction)
+    serving: ServingConfig = field(default_factory=ServingConfig)
     #: take a metadata checkpoint every this many operations ...
     checkpoint_interval_ops: int = 20_000
     #: ... or this many seconds, whichever comes first
@@ -149,7 +177,12 @@ class SegmentContainer:
         self.tracer = tracer
         self.segments: Dict[str, SegmentState] = {}
         self.cache = BlockCache(self.config.cache)
-        self.cache_manager = CacheManager(self.cache)
+        self.cache_manager = CacheManager(
+            self.cache,
+            eviction=self.config.serving.eviction_policy,
+            admission=self.config.serving.admission_policy,
+        )
+        self.cache_manager.eviction_counter = self.metrics.counter("cache.evictions")
         self.read_indexes: Dict[str, SegmentReadIndex] = {}
         self.durable_log = DurableLog(
             sim,
@@ -173,7 +206,15 @@ class SegmentContainer:
         #: the ingestion throttle watermarks)
         self._unapplied_bytes = 0
         self._applies_since_evict = 0
-        self._tail_waiters: Dict[str, List[Tuple[int, SimFuture]]] = {}
+        #: parked tail reads per segment: waiter future -> (offset,
+        #: max_bytes).  Insertion-ordered; O(1) deregistration when a
+        #: reader detaches mid-wait.
+        #: parked tail reads: segment -> {future: (offset, max_bytes, direct)}
+        #: where ``direct`` futures are resolved straight to a ReadResult
+        #: by the fan-out (no reader process behind them)
+        self._tail_waiters: Dict[str, Dict[SimFuture, Tuple[int, int, bool]]] = {}
+        #: single-flight LTS fetches in progress: (segment, chunk) -> future
+        self._inflight_fetches: Dict[Tuple[str, str], SimFuture] = {}
         self._event_rates: Dict[str, RateMeter] = {}
         self._byte_rates: Dict[str, RateMeter] = {}
         #: per-segment (event meter, byte meter) pairs plus prebound hot
@@ -183,6 +224,10 @@ class SegmentContainer:
         self._append_bytes = self.metrics.counter("append.bytes")
         sim.register_fluid(self)
         self._read_cache_bytes = self.metrics.counter("read.cache_bytes")
+        self._read_cache_hits = self.metrics.counter("read.cache_hits")
+        self._read_cache_misses = self.metrics.counter("read.cache_misses")
+        self._read_lts_ops = self.metrics.counter("read.lts_fetch_ops")
+        self._read_coalesced = self.metrics.counter("read.coalesced_fetches")
         self._ops_since_checkpoint = 0
         self._last_checkpoint_sequence = -1
         self._checkpoint_running = False
@@ -262,12 +307,13 @@ class SegmentContainer:
         self.durable_log.shutdown(failure)
         self.storage_writer.stop()
         for waiters in self._tail_waiters.values():
-            for _, fut in waiters:
+            for fut in waiters:
                 if not fut.done:
                     fut.set_exception(
                         failure or ContainerOfflineError(str(self.container_id))
                     )
         self._tail_waiters.clear()
+        self._inflight_fetches.clear()
 
     def _on_wal_failure(self, failure: BaseException) -> None:
         """A fatal WAL error (fencing / quorum loss) fail-stops the
@@ -772,10 +818,28 @@ class SegmentContainer:
                 want = min(max_bytes, available)
                 cached = self._read_index(segment).read_cached(offset, want)
                 if cached is not None and cached.size > 0:
+                    self._read_cache_hits.add()
                     self._read_cache_bytes.add(cached.size)
                     done = self.sim.future()
                     done.set_result(ReadResult(cached, offset))
                     return done
+            elif self.config.serving.direct_tail_delivery:
+                # Direct tail park: no reader process — the shared append
+                # fan-out resolves this future with the ReadResult (or
+                # end-of-segment) itself.  Cancellation goes through
+                # cancel_tail_read().
+                if state.sealed:
+                    done = self.sim.future()
+                    done.set_result(
+                        ReadResult(Payload.empty(), offset, end_of_segment=True)
+                    )
+                    return done
+                waiter = self.sim.future()
+                waiters = self._tail_waiters.get(segment)
+                if waiters is None:
+                    waiters = self._tail_waiters[segment] = {}
+                waiters[waiter] = (offset, max_bytes, True)
+                return waiter
 
         def run():
             read_span = None
@@ -802,23 +866,49 @@ class SegmentContainer:
                             done("eos")
                             return ReadResult(Payload.empty(), offset, end_of_segment=True)
                         waiter = self.sim.future()
-                        self._tail_waiters.setdefault(segment, []).append((offset, waiter))
-                        end_of_segment = yield waiter
+                        waiters = self._tail_waiters.get(segment)
+                        if waiters is None:
+                            waiters = self._tail_waiters[segment] = {}
+                        waiters[waiter] = (offset, max_bytes, False)
+                        wait_from = self.sim.now if read_span is not None else 0.0
+                        try:
+                            wake = yield waiter
+                        except BaseException:
+                            # Reader detached mid-wait (interrupt) or the
+                            # waiter failed: drop the registration so the
+                            # wakeup list doesn't pin this future.
+                            live = self._tail_waiters.get(segment)
+                            if live is not None:
+                                live.pop(waiter, None)
+                            raise
                         waited = True
-                        if end_of_segment:
+                        if read_span is not None:
+                            read_span.component("tail_wait", self.sim.now - wait_from)
+                        if wake is True:
                             done("eos")
                             return ReadResult(Payload.empty(), offset, end_of_segment=True)
+                        if wake is not False:
+                            # Shared fan-out delivered the payload directly.
+                            self._read_cache_hits.add()
+                            self._read_cache_bytes.add(wake.payload.size)
+                            done("tail")
+                            return wake
                         continue
                     want = min(max_bytes, available)
                     index = self._read_index(segment)
                     cached = index.read_cached(offset, want)
                     if cached is not None and cached.size > 0:
+                        self._read_cache_hits.add()
                         self._read_cache_bytes.add(cached.size)
                         done("tail" if waited else "cache")
                         return ReadResult(cached, offset)
                     # Cache miss: fetch the chunk covering `offset` from LTS and
                     # prefetch the next chunks in parallel (Fig. 12).
-                    yield from self._fetch_from_lts(segment, offset)
+                    self._read_cache_misses.add()
+                    fetch_from = self.sim.now if read_span is not None else 0.0
+                    yield from self._fetch_from_lts(segment, offset, read_span)
+                    if read_span is not None:
+                        read_span.component("lts", self.sim.now - fetch_from)
                     cached = index.read_cached(offset, want)
                     if cached is not None and cached.size > 0:
                         self.metrics.counter("read.lts_bytes").add(cached.size)
@@ -835,7 +925,7 @@ class SegmentContainer:
 
         return self.sim.process(run())
 
-    def _fetch_from_lts(self, segment: str, offset: int):
+    def _fetch_from_lts(self, segment: str, offset: int, read_span=None):
         chunks = self.storage_writer.chunks_for_range(segment, offset, 1)
         if not chunks:
             # Data not in a chunk: nothing to fetch (caller will fail).
@@ -843,14 +933,59 @@ class SegmentContainer:
         index = self._read_index(segment)
         all_chunks = self.storage_writer.chunks.get(segment, [])
         position = all_chunks.index(chunks[0])
+        coalesce = self.config.serving.coalesce_lts_fetches
         # Read-ahead in parallel (the Fig. 12 mechanism), best-effort: the
         # target chunk is mandatory; prefetched chunks are dropped rather
         # than evicting actively-served data from a full cache.
         readahead = all_chunks[position + 1 : position + 1 + self.config.readahead_chunks]
         for chunk in readahead:
             if index.cached_range_end(chunk.start_offset) is None:
+                if coalesce and (segment, chunk.chunk_name) in self._inflight_fetches:
+                    continue
                 self.sim.process(self._prefetch(index, chunk))
         target = chunks[0]
+        if coalesce:
+            key = (segment, target.chunk_name)
+            shared = self._inflight_fetches.get(key)
+            if shared is not None:
+                # Single-flight: join the fetch already in flight (a
+                # concurrent reader's, or our own earlier read-ahead).
+                self._read_coalesced.add()
+                if read_span is not None:
+                    read_span.annotate("lts-coalesced", chunk=target.chunk_name)
+                yield shared
+                return
+            shared = self._inflight_fetches[key] = self.sim.future()
+            try:
+                if self.faults is not None:
+                    extra = self.faults.lts_op(f"container-{self.container_id}")
+                    if extra:
+                        yield self.sim.timeout(extra)
+                self._read_lts_ops.add()
+                payload = yield self.storage_writer.lts.read_chunk(target.chunk_name)
+                self.cache_manager.advance_generation()
+                try:
+                    index.insert_fetched(target.start_offset, payload)
+                except CacheFullError:
+                    self.cache_manager.make_room()
+                    index.insert_fetched(target.start_offset, payload)
+            except BaseException as exc:
+                # Every coalesced waiter sees the leader's failure.
+                if not shared.done:
+                    shared.set_exception(exc)
+                raise
+            else:
+                if not shared.done:
+                    shared.set_result(None)
+            finally:
+                if self._inflight_fetches.get(key) is shared:
+                    del self._inflight_fetches[key]
+            return
+        if self.faults is not None:
+            extra = self.faults.lts_op(f"container-{self.container_id}")
+            if extra:
+                yield self.sim.timeout(extra)
+        self._read_lts_ops.add()
         payload = yield self.storage_writer.lts.read_chunk(target.chunk_name)
         self.cache_manager.advance_generation()
         try:
@@ -860,35 +995,120 @@ class SegmentContainer:
             index.insert_fetched(target.start_offset, payload)
 
     def _prefetch(self, index: SegmentReadIndex, chunk) -> "Generator":
-        payload = yield self.storage_writer.lts.read_chunk(chunk.chunk_name)
-        if index.cached_range_end(chunk.start_offset) is not None:
-            return
+        shared = None
+        if self.config.serving.coalesce_lts_fetches:
+            key = (index.segment, chunk.chunk_name)
+            if key in self._inflight_fetches:
+                return
+            shared = self._inflight_fetches[key] = self.sim.future()
         try:
-            index.insert_fetched(chunk.start_offset, payload)
-        except CacheFullError:
-            if self.cache_manager.make_room():
+            if self.faults is not None:
+                extra = self.faults.lts_op(f"container-{self.container_id}")
+                if extra:
+                    yield self.sim.timeout(extra)
+            self._read_lts_ops.add()
+            payload = yield self.storage_writer.lts.read_chunk(chunk.chunk_name)
+            if index.cached_range_end(chunk.start_offset) is None:
                 try:
                     index.insert_fetched(chunk.start_offset, payload)
                 except CacheFullError:
-                    pass  # cache too small for read-ahead; drop it
+                    if self.cache_manager.make_room():
+                        try:
+                            index.insert_fetched(chunk.start_offset, payload)
+                        except CacheFullError:
+                            pass  # cache too small for read-ahead; drop it
+        except BaseException as exc:
+            if shared is not None and not shared.done:
+                shared.set_exception(exc)
+            raise
+        else:
+            if shared is not None and not shared.done:
+                shared.set_result(None)
+        finally:
+            if shared is not None and self._inflight_fetches.get(key) is shared:
+                del self._inflight_fetches[key]
+
+    def cancel_tail_read(self, segment: str, fut: SimFuture) -> None:
+        """Drop a parked tail-read future (client cancelled the read)."""
+        waiters = self._tail_waiters.get(segment)
+        if waiters is not None:
+            waiters.pop(fut, None)
 
     def _complete_tail_waiters(self, segment: str, force_eos: bool = False) -> None:
         waiters = self._tail_waiters.get(segment)
         if not waiters:
             return
+        if force_eos:
+            for fut, (offset, _max_bytes, direct) in waiters.items():
+                if not fut.done:
+                    if direct:
+                        fut.set_result(
+                            ReadResult(Payload.empty(), offset, end_of_segment=True)
+                        )
+                    else:
+                        fut.set_result(True)
+            waiters.clear()
+            return
         state = self.segments.get(segment)
         length = state.applied_length if state is not None else 0
-        remaining: List[Tuple[int, SimFuture]] = []
-        for offset, fut in waiters:
-            if force_eos:
-                if not fut.done:
-                    fut.set_result(True)
-            elif offset < length:
-                if not fut.done:
-                    fut.set_result(False)
+        ready = [
+            (fut, offset, max_bytes, direct)
+            for fut, (offset, max_bytes, direct) in waiters.items()
+            if offset < length
+        ]
+        if not ready:
+            return
+        for fut, _, _, _ in ready:
+            del waiters[fut]
+        # Shared tail fan-out: every parked reader waits at (one of a
+        # handful of) distinct offsets, so one append's payload is read
+        # from the cache once per distinct (offset, want) and the same
+        # ReadResult resolves every waiter — per-reader delivery work no
+        # longer scales with payload size.  Wake order matches the old
+        # per-waiter protocol (registration order), so event timing is
+        # unchanged; a cache miss here falls back to the legacy
+        # wake-and-retry protocol.
+        index = self.read_indexes.get(segment)
+        shared: Dict[Tuple[int, int], Optional[ReadResult]] = {}
+        for fut, offset, max_bytes, direct in ready:
+            if fut.done:
+                continue
+            key = (offset, min(max_bytes, length - offset))
+            if key in shared:
+                result = shared[key]
             else:
-                remaining.append((offset, fut))
-        self._tail_waiters[segment] = remaining
+                result = None
+                if index is not None:
+                    cached = index.read_cached(offset, key[1])
+                    if cached is not None and cached.size > 0:
+                        result = ReadResult(cached, offset)
+                shared[key] = result
+            if result is not None:
+                if direct:
+                    # Process-backed waiters account the hit in their own
+                    # wake branch; direct futures have no process.
+                    self._read_cache_hits.add()
+                    self._read_cache_bytes.add(result.payload.size)
+                fut.set_result(result)
+            elif direct:
+                # Woken past the cache (rare: the run was evicted between
+                # apply and fan-out) — fall back to a full read, chained
+                # into the parked future.
+                self._chain(self.read(segment, offset, max_bytes), fut)
+            else:
+                fut.set_result(False)
+
+    @staticmethod
+    def _chain(src: SimFuture, dst: SimFuture) -> None:
+        def copy(f: SimFuture) -> None:
+            if dst.done:
+                return
+            if f._exception is not None:
+                dst.set_exception(f._exception)
+            else:
+                dst.set_result(f._value)
+
+        src.add_callback(copy)
 
     # ------------------------------------------------------------------
     # Flush / truncation feedback

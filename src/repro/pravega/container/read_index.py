@@ -10,11 +10,19 @@ address of their data plus usage metadata that drives eviction.
 A read at the current end of a segment returns a *tail-read future* that
 completes when new data is appended — the mechanism behind low-latency
 tail reads (Fig. 8).
+
+The :class:`CacheManager` is the serving tier's policy seam (DESIGN.md
+§13): eviction order is pluggable (``generation`` — Pravega's native
+scheme — or ``lru``), and admission of LTS-fetched runs is pluggable
+(``always`` or ``second_touch``, with a ghost list so a re-fetched run
+is admitted on its second life).  ``2q`` composes lru eviction with
+second-touch admission.  The defaults reproduce the pre-serving-tier
+behavior exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.avl import AvlTree
@@ -26,16 +34,27 @@ __all__ = ["IndexEntry", "SegmentReadIndex", "CacheManager"]
 #: an index entry stops growing past this size so eviction stays granular
 MAX_ENTRY_BYTES = 1024 * 1024
 
+#: ghost-list capacity: evicted-before-promotion fetch keys remembered
+#: for second-touch admission across an eviction
+GHOST_CAPACITY = 4096
 
-@dataclass
+
+@dataclass(slots=True)
 class IndexEntry:
     """One contiguous run of segment bytes resident in the cache."""
 
     start_offset: int
     length: int
     cache_address: int
-    #: cache-manager generation of the last access (eviction heuristic)
+    #: recency stamp of the last access: the cache-manager generation
+    #: (generation policy) or a monotonic access tick (lru policy)
     generation: int = 0
+    #: False while on probation (second-touch admission): evicts before
+    #: any admitted entry; promoted by a touch in a later generation
+    admitted: bool = True
+    #: cache-manager generation when the entry was inserted (promotion
+    #: requires a touch *after* the inserting fetch's generation)
+    born: int = 0
 
     @property
     def end_offset(self) -> int:
@@ -63,9 +82,12 @@ class SegmentReadIndex:
 
         Contiguous appends extend the current tail entry via the O(1)
         cache append; a new entry starts when the tail entry is full.
+        Appended data is the tail working set: always admitted.
         """
         if payload.size == 0:
             return
+        mgr = self.manager
+        stamp = mgr.current_generation if mgr.generation_mode else mgr.next_tick()
         tail = self._tail_entry
         if (
             tail is not None
@@ -74,24 +96,35 @@ class SegmentReadIndex:
         ):
             tail.cache_address = self.cache.append(tail.cache_address, payload)
             tail.length += payload.size
-            tail.generation = self.manager.current_generation
+            tail.generation = stamp
         else:
             entry = IndexEntry(offset, payload.size, self.cache.insert(payload))
-            entry.generation = self.manager.current_generation
+            entry.generation = stamp
+            entry.born = mgr.current_generation
             self._entries.insert(offset, entry)
             self._tail_entry = entry
         self._append_offset = offset + payload.size
 
     def insert_fetched(self, offset: int, payload: Payload) -> None:
-        """Insert data fetched from LTS (brought into the cache on read)."""
+        """Insert data fetched from LTS (brought into the cache on read).
+
+        Admission policy applies here: under ``second_touch`` the run
+        starts on probation (evicts first) unless its key is in the
+        ghost list — i.e. this is its second fetch.
+        """
         if payload.size == 0:
             return
         # Skip insertion if an existing entry already covers the range start.
         existing = self._floor_covering(offset)
         if existing is not None:
             return
+        mgr = self.manager
         entry = IndexEntry(offset, payload.size, self.cache.insert(payload))
-        entry.generation = self.manager.current_generation
+        entry.generation = (
+            mgr.current_generation if mgr.generation_mode else mgr.next_tick()
+        )
+        entry.born = mgr.current_generation
+        entry.admitted = mgr.admit_fetch(self.segment, offset)
         self._entries.insert(offset, entry)
 
     # ------------------------------------------------------------------
@@ -105,6 +138,16 @@ class SegmentReadIndex:
         entry = found[1]
         return entry if entry.start_offset <= offset < entry.end_offset else None
 
+    def _touch(self, entry: IndexEntry, mgr: "CacheManager") -> None:
+        if mgr.generation_mode:
+            entry.generation = mgr.current_generation
+        else:
+            entry.generation = mgr.next_tick()
+        if not entry.admitted and entry.born != mgr.current_generation:
+            # Second touch in a later generation: off probation.
+            entry.admitted = True
+            mgr.promotions += 1
+
     def read_cached(self, offset: int, max_bytes: int) -> Optional[Payload]:
         """Contiguous cached data at ``offset`` (up to ``max_bytes``),
         or None if the first byte is not cached.
@@ -112,21 +155,34 @@ class SegmentReadIndex:
         Tail reads — by far the common case for streaming consumers —
         resolve against the O(1) tail entry without touching the AVL
         tree; ``CacheManager.tail_read_hits`` / ``avl_probes`` account
-        for which path served each lookup.
+        for which path served each lookup.  The single-entry case (all
+        tail reads, and every read inside one cached run) returns its
+        payload slice directly without building a piece list.
         """
+        mgr = self.manager
         tail = self._tail_entry
         if tail is not None and tail.start_offset <= offset < tail.end_offset:
             entry: Optional[IndexEntry] = tail
-            self.manager.tail_read_hits += 1
+            mgr.tail_read_hits += 1
         else:
             entry = self._floor_covering(offset)
             if entry is None:
                 return None
-        pieces: List[Payload] = []
-        taken = 0
-        cursor = offset
+        self._touch(entry, mgr)
+        start = offset - entry.start_offset
+        end = min(entry.length, start + max_bytes)
+        piece = self.cache.read_range(entry.cache_address, start, end, entry.length)
+        taken = end - start
+        if taken >= max_bytes or end < entry.length or entry is self._tail_entry:
+            return piece
+        cursor = entry.start_offset + end
+        nxt = self._entries.ceiling(cursor)
+        entry = nxt[1] if nxt is not None and nxt[1].start_offset == cursor else None
+        if entry is None:
+            return piece
+        pieces: List[Payload] = [piece]
         while entry is not None and taken < max_bytes:
-            entry.generation = self.manager.current_generation
+            self._touch(entry, mgr)
             start = cursor - entry.start_offset
             end = min(entry.length, start + (max_bytes - taken))
             pieces.append(
@@ -140,8 +196,6 @@ class SegmentReadIndex:
                 break  # nothing follows the tail entry
             nxt = self._entries.ceiling(cursor)
             entry = nxt[1] if nxt is not None and nxt[1].start_offset == cursor else None
-        if len(pieces) == 1:
-            return pieces[0]
         return Payload.concat(pieces)
 
     def cached_range_end(self, offset: int) -> Optional[int]:
@@ -196,22 +250,63 @@ class SegmentReadIndex:
 
 
 class CacheManager:
-    """Generation-based eviction across all read indexes of a container.
+    """Eviction and admission across all read indexes of a container.
 
     Mirrors Pravega's cache manager: every access stamps the entry with
     the current generation; when utilization crosses the target, the
-    oldest-generation evictable entries are freed first.
+    oldest evictable entries are freed first.  Two policy axes plug in:
+
+    * ``eviction`` — ``generation`` (default; the original behavior) or
+      ``lru`` (exact access-order via a monotonic tick).
+    * ``admission`` — ``always`` (default) or ``second_touch``: an
+      LTS-fetched run starts on *probation* and evicts before any
+      admitted entry; it is admitted by a touch in a later generation,
+      or immediately when its key sits in the ghost list of recently
+      evicted probationers (its second fetch).  A one-pass mass replay
+      therefore cycles through probationary slots and cannot evict the
+      tail working set.
+
+    ``eviction="2q"`` is shorthand for lru + second_touch.
     """
 
-    def __init__(self, cache: BlockCache, target_utilization: float = 0.85) -> None:
+    def __init__(
+        self,
+        cache: BlockCache,
+        target_utilization: float = 0.85,
+        eviction: str = "generation",
+        admission: str = "always",
+    ) -> None:
+        if eviction == "2q":
+            eviction, admission = "lru", "second_touch"
+        if eviction not in ("generation", "lru"):
+            raise ValueError(f"unknown eviction policy: {eviction!r}")
+        if admission not in ("always", "second_touch"):
+            raise ValueError(f"unknown admission policy: {admission!r}")
         self.cache = cache
         self.target_utilization = target_utilization
+        self.eviction = eviction
+        self.admission = admission
+        #: True for the generation policy: entries are stamped with the
+        #: coarse generation; False stamps an exact lru access tick
+        self.generation_mode = eviction == "generation"
         self.current_generation = 0
+        self._tick = 0
         #: lookups served by the O(1) tail entry (no tree probe)
         self.tail_read_hits = 0
         #: lookups that went through an AVL floor probe
         self.avl_probes = 0
+        #: probationary entries promoted by a second touch
+        self.promotions = 0
+        #: fetches admitted straight from the ghost list
+        self.ghost_hits = 0
+        #: entries evicted (total / while still on probation)
+        self.evicted_entries = 0
+        self.evicted_probation = 0
         self._indexes: List[SegmentReadIndex] = []
+        #: optional metrics Counter mirroring ``evicted_entries``
+        self.eviction_counter = None
+        #: FIFO ghost list of evicted-before-promotion fetch keys
+        self._ghosts: Dict[Tuple[str, int], None] = {}
         #: callback answering "flushed-to-LTS offset" per segment name
         self.flushed_offset_provider = lambda segment: 0
 
@@ -225,33 +320,73 @@ class CacheManager:
     def advance_generation(self) -> None:
         self.current_generation += 1
 
+    def next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit_fetch(self, segment: str, offset: int) -> bool:
+        """Should this LTS-fetched run bypass probation?"""
+        if self.admission == "always":
+            return True
+        key = (segment, offset)
+        if key in self._ghosts:
+            del self._ghosts[key]
+            self.ghost_hits += 1
+            return True
+        return False
+
+    def _remember_ghost(self, segment: str, offset: int) -> None:
+        ghosts = self._ghosts
+        ghosts[segment, offset] = None
+        if len(ghosts) > GHOST_CAPACITY:
+            del ghosts[next(iter(ghosts))]
+
     @property
     def utilization(self) -> float:
         capacity = self.cache.spec.max_blocks
         return self.cache.used_blocks / capacity if capacity else 0.0
 
     def maybe_evict(self) -> int:
-        """Evict oldest evictable entries until below target utilization.
+        """Evict entries until below target utilization.
 
-        Entries touched in the *current* generation are never evicted:
-        they are being actively served (prevents a fetch from evicting
-        the chunk it just brought in).
+        Probationary entries go first (in recency order), then admitted
+        entries by generation/tick.  Under the generation policy,
+        admitted entries touched in the *current* generation are never
+        evicted: they are being actively served (prevents a fetch from
+        evicting the chunk it just brought in).
         """
         if self.utilization <= self.target_utilization:
             return 0
-        candidates: List[Tuple[int, SegmentReadIndex, IndexEntry]] = []
+        generation_mode = self.generation_mode
+        current = self.current_generation
+        candidates: List[Tuple[Tuple[bool, int], SegmentReadIndex, IndexEntry]] = []
         for index in self._indexes:
             flushed = self.flushed_offset_provider(index.segment)
             for entry in index.evictable_entries(flushed):
-                if entry.generation >= self.current_generation:
+                # Entries touched in the current generation are being
+                # actively served (a fetch must not evict the chunk it
+                # just brought in — probationary or not).
+                if generation_mode and entry.generation >= current:
                     continue
-                candidates.append((entry.generation, index, entry))
+                candidates.append(((entry.admitted, entry.generation), index, entry))
         candidates.sort(key=lambda item: item[0])
         released = 0
+        evicted = 0
         for _, index, entry in candidates:
             if self.utilization <= self.target_utilization:
                 break
+            if not entry.admitted:
+                self.evicted_probation += 1
+                self._remember_ghost(index.segment, entry.start_offset)
+            evicted += 1
             released += index.evict_entry(entry)
+        if evicted:
+            self.evicted_entries += evicted
+            if self.eviction_counter is not None:
+                self.eviction_counter.add(evicted)
         return released
 
     def make_room(self) -> bool:

@@ -25,7 +25,7 @@ from repro.pravega.container.container import (
     ContainerConfig,
     SegmentContainer,
 )
-from repro.sim.core import SimFuture, Simulator
+from repro.sim.core import Interrupt, SimFuture, Simulator
 from repro.sim.network import Network
 from repro.zookeeper.service import ZookeeperService
 
@@ -65,6 +65,8 @@ class SegmentStore:
         self.config = config or SegmentStoreConfig()
         self.metrics = metrics or MetricsRegistry()
         self.containers: Dict[int, SegmentContainer] = {}
+        #: memoized segment name -> container id (pure-function cache)
+        self._container_route: Dict[str, int] = {}
         self.alive = True
         self.bytes_ingested = 0
         #: fault-injection hook (repro.faults.FaultEngine); unwired by default
@@ -99,7 +101,14 @@ class SegmentStore:
 
     def container_for(self, segment: str) -> SegmentContainer:
         """The container owning ``segment`` — if hosted here."""
-        container_id = assign_to_bucket(segment, self._total_containers())
+        # The segment -> container mapping is a pure function of the name
+        # and the fixed container count; memoize to skip the stable hash
+        # on every RPC.
+        container_id = self._container_route.get(segment)
+        if container_id is None:
+            container_id = self._container_route[segment] = assign_to_bucket(
+                segment, self._total_containers()
+            )
         container = self.containers.get(container_id)
         if container is None:
             raise SegmentError(
@@ -190,17 +199,6 @@ class SegmentStore:
         self, client_host: str, segment: str, offset: int, max_bytes: int, span=None
     ) -> SimFuture:
         """Read from a segment; resolves with ReadResult (tail reads wait)."""
-        reply_holder: Dict[str, int] = {"bytes": RPC_OVERHEAD}
-
-        def handler():
-            fut = self.container_for(segment).read(segment, offset, max_bytes, span=span)
-
-            def note_size(f: SimFuture) -> None:
-                if f.exception is None:
-                    reply_holder["bytes"] = RPC_OVERHEAD + f._value.payload.size
-
-            fut.add_callback(note_size)
-            return fut
 
         def run():
             try:
@@ -212,10 +210,29 @@ class SegmentStore:
                 if not self.alive:
                     raise ContainerOfflineError(f"store {self.name} is down")
                 yield self.config.request_processing_time
-                value = yield handler()
+                container = self.container_for(segment)
+                inner = container.read(segment, offset, max_bytes, span=span)
+                try:
+                    value = yield inner
+                except Interrupt:
+                    # Client cancelled the read (reader released/reassigned
+                    # its segments): propagate into the container so a
+                    # parked tail waiter deregisters instead of pinning
+                    # the wakeup list.  Process-backed reads deregister
+                    # themselves on interrupt; bare direct-delivery
+                    # futures are dropped explicitly.
+                    interrupt = getattr(inner, "interrupt", None)
+                    if interrupt is not None:
+                        if not inner.done:
+                            interrupt()
+                    else:
+                        container.cancel_tail_read(segment, inner)
+                    raise
                 if span is not None:
                     t_reply = self.sim.now
-                yield self.network.transfer(self.name, client_host, reply_holder["bytes"])
+                yield self.network.transfer(
+                    self.name, client_host, RPC_OVERHEAD + value.payload.size
+                )
                 if span is not None:
                     span.component("network", self.sim.now - t_reply)
                 return value

@@ -13,10 +13,17 @@ Semantics (SRE-standard, evaluated over the measurement window):
   under ``p99_latency``.  The latency compliance is good windows /
   total windows, compared against ``latency_compliance``.
 
+* **Read SLI** (opt-in) — when ``read_p99_latency`` is set, the same
+  windowing applies to end-to-end write→tail-delivery latencies fed via
+  ``on_delivery``; a read-serving tenant's SLO then also requires the
+  read-latency compliance to clear ``latency_compliance``.  When unset,
+  the report carries no read keys at all.
+
 ``SloTracker`` doubles as the runner's observer (``on_sent`` /
-``on_ack`` hooks), so SLO accounting rides the existing ack path with
-no extra simulation events.  Reports flatten into ``BenchResult.extra``
-as ``slo.*`` floats (JSON-ready for the figure suite).
+``on_ack`` / ``on_delivery`` hooks), so SLO accounting rides the
+existing ack and delivery paths with no extra simulation events.
+Reports flatten into ``BenchResult.extra`` as ``slo.*`` floats
+(JSON-ready for the figure suite).
 """
 
 from __future__ import annotations
@@ -47,6 +54,10 @@ class SloSpec:
     window: float = 1.0
     #: required fraction of windows meeting the p99 target
     latency_compliance: float = 0.95
+    #: p99 end-to-end (write -> tail delivery) latency target, seconds;
+    #: None leaves read SLIs out of the report entirely (write-only
+    #: tenants keep their committed metrics byte-identical)
+    read_p99_latency: Optional[float] = None
 
 
 @dataclass
@@ -55,6 +66,8 @@ class _Window:
     acked: int = 0
     failed: int = 0
     latencies: List[float] = field(default_factory=list)
+    delivered: int = 0
+    read_latencies: List[float] = field(default_factory=list)
 
 
 class SloTracker:
@@ -93,18 +106,32 @@ class SloTracker:
         else:
             win.failed += count
 
+    def on_delivery(self, send_time: float, count: int, latency: float) -> None:
+        """An event batch reached a tail consumer (read-path SLI).
+
+        Like acks, attribution is by send time.  Cheap no-op windowing
+        when the tenant has no read SLO configured — the runner calls
+        this on every delivery."""
+        if self.spec.read_p99_latency is None:
+            return
+        win = self._window(send_time)
+        if win is not None:
+            win.delivered += count
+            win.read_latencies.append(latency)
+
     # -- evaluation ----------------------------------------------------
     def report(self) -> Dict[str, float]:
         spec = self.spec
         total_windows = max(1, int(round((self.end - self.start) / spec.window)))
-        sent = acked = failed = 0
-        latency_bad = 0
-        worst_p99 = 0.0
+        sent = acked = failed = delivered = 0
+        latency_bad = read_bad = 0
+        worst_p99 = worst_read_p99 = 0.0
         for index in range(total_windows):
             win = self._windows.get(index, _Window())
             sent += win.sent
             acked += win.acked
             failed += win.failed
+            delivered += win.delivered
             if win.latencies:
                 p99 = percentile(sorted(win.latencies), 0.99)
             elif win.sent:
@@ -114,6 +141,16 @@ class SloTracker:
             worst_p99 = max(worst_p99, p99)
             if p99 > spec.p99_latency:
                 latency_bad += 1
+            if spec.read_p99_latency is not None:
+                if win.read_latencies:
+                    read_p99 = percentile(sorted(win.read_latencies), 0.99)
+                elif win.sent:
+                    read_p99 = float("inf")  # offered, nothing delivered
+                else:
+                    read_p99 = 0.0
+                worst_read_p99 = max(worst_read_p99, read_p99)
+                if read_p99 > spec.read_p99_latency:
+                    read_bad += 1
         availability = acked / sent if sent else 1.0
         budget = 1.0 - spec.availability
         burn_rate = (1.0 - availability) / budget if budget > 0 else (
@@ -121,7 +158,7 @@ class SloTracker:
         )
         compliance = (total_windows - latency_bad) / total_windows
         ok = burn_rate <= 1.0 and compliance >= spec.latency_compliance
-        return {
+        out = {
             "windows": float(total_windows),
             "latency_bad_windows": float(latency_bad),
             "latency_compliance": compliance,
@@ -132,8 +169,18 @@ class SloTracker:
             "availability": availability,
             "burn_rate": burn_rate,
             "budget_remaining": max(0.0, 1.0 - burn_rate),
-            "ok": 1.0 if ok else 0.0,
         }
+        if spec.read_p99_latency is not None:
+            # Read SLI keys are emitted only when a read target is set so
+            # write-only tenants' committed reports stay byte-identical.
+            read_compliance = (total_windows - read_bad) / total_windows
+            ok = ok and read_compliance >= spec.latency_compliance
+            out["delivered"] = float(delivered)
+            out["read_latency_bad_windows"] = float(read_bad)
+            out["read_compliance"] = read_compliance
+            out["worst_window_read_p99"] = worst_read_p99
+        out["ok"] = 1.0 if ok else 0.0
+        return out
 
     def emit(self, extra: Dict[str, float], prefix: str = "slo.") -> None:
         for key, value in self.report().items():

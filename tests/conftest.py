@@ -28,6 +28,7 @@ DOMAIN_MARKERS = (
     "capacity",
     "gate",
     "geo",
+    "read",
 )
 
 _deselected: List[object] = []

@@ -69,6 +69,7 @@ def test_gate_passes_without_reruns_on_this_repo():
         "BENCH_workload.json",
         "BENCH_scale.json",
         "BENCH_capacity.json",
+        "BENCH_read.json",
     }
 
 
@@ -194,6 +195,53 @@ def test_structure_check_rejects_bad_geo_points(committed):
     assert any(
         d.path == "points" and d.file == "BENCH_geo.json" for d in drifts
     )
+
+
+def test_structure_check_rejects_bad_read_report(committed):
+    # no mass fan-out point: every point is dropped below 1000 readers
+    files = copy.deepcopy(committed)
+    for point in files["BENCH_read.json"]["fanout"]["points"]:
+        point["readers"] = min(point["readers"], 100)
+    drifts = structure_checks(files)
+    assert any(
+        d.path == "fanout.points" and d.file == "BENCH_read.json"
+        for d in drifts
+    )
+
+    # coalescing that *increases* LTS ops is a broken single-flight
+    files = copy.deepcopy(committed)
+    replay = files["BENCH_read.json"]["replay"]
+    replay["on"]["lts_fetch_ops"] = replay["off"]["lts_fetch_ops"] + 1
+    drifts = structure_checks(files)
+    assert any(d.path == "replay.on.lts_fetch_ops" for d in drifts)
+
+    # coalescing must not change the bytes readers observe
+    files = copy.deepcopy(committed)
+    files["BENCH_read.json"]["replay"]["on"]["delivered_bytes"] += 1
+    drifts = structure_checks(files)
+    assert any(d.path == "replay.on.delivered_bytes" for d in drifts)
+
+    # a hit rate outside [0, 1] is a broken counter
+    files = copy.deepcopy(committed)
+    name = next(iter(files["BENCH_read.json"]["policies"]))
+    files["BENCH_read.json"]["policies"][name]["hit_rate"] = 1.2
+    drifts = structure_checks(files)
+    assert any(
+        d.path == f"policies[{name}].hit_rate" and d.kind == "structure"
+        for d in drifts
+    )
+
+    # determinism fields must be recorded for re-run comparison
+    files = copy.deepcopy(committed)
+    del files["BENCH_read.json"]["fanout"]["points"][0]["kernel_events"]
+    drifts = structure_checks(files)
+    assert any(d.path.endswith(".kernel_events") for d in drifts)
+
+    # a fan-out point whose readers never drained the backlog
+    files = copy.deepcopy(committed)
+    files["BENCH_read.json"]["fanout"]["points"][0]["caught_up"] = False
+    drifts = structure_checks(files)
+    assert any(d.path.endswith(".caught_up") for d in drifts)
 
 
 def test_cross_file_disagreement_is_reported(committed):
