@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test geo geo-check geo-test read read-check read-test
+.PHONY: test check perf bench-kernel fuzz trace trace-test suite suite-check workloads workload-test scale fluid-test capacity capacity-check capacity-test gate gate-test geo geo-check geo-test read read-check read-test shard shard-check shard-test
 
 ## tier-1 verification: the full unit/property/bench-harness suite
 ## (includes the seeded fault-injection smoke, marker: faults)
@@ -40,21 +40,23 @@ trace-test:
 	$(PYTHON) -m pytest -q -m trace
 
 ## full figure suite across worker processes; writes BENCH_suite.json
-## (override: JOBS=8 ONLY=fig05a,fig08a)
+## (override: JOBS=8 ONLY=fig05a,fig08a; JOBS defaults to the machine's
+## core count — a hard-coded number oversubscribes small containers and
+## undersubscribes big ones)
 suite:
-	$(PYTHON) -m repro.bench suite --jobs $(or $(JOBS),4) \
+	$(PYTHON) -m repro.bench suite --jobs $(or $(JOBS),$(shell nproc)) \
 		$(if $(ONLY),--only $(ONLY)) --json BENCH_suite.json
 
 ## fast smoke of the suite runner: serial vs parallel determinism
 ## (includes the workload smoke scenario and its claim asserts)
 suite-check:
-	$(PYTHON) -m repro.bench suite --check --jobs $(or $(JOBS),4)
+	$(PYTHON) -m repro.bench suite --check --jobs $(or $(JOBS),$(shell nproc))
 
 ## the repro.workload experiments (diurnal/flash-crowd auto-scaling,
 ## multi-tenant SLO); prefix selection expands to all workload_* scenarios;
 ## writes BENCH_workload.json
 workloads:
-	$(PYTHON) -m repro.bench suite --only workload --jobs $(or $(JOBS),3) \
+	$(PYTHON) -m repro.bench suite --only workload --jobs $(or $(JOBS),$(shell nproc)) \
 		--json BENCH_workload.json
 
 ## fast workload-marked tier-1 tests only (arrival stats, SLO math,
@@ -129,3 +131,19 @@ read-check:
 ## default-path guard)
 read-test:
 	$(PYTHON) -m pytest -q -m read
+
+## full sharded-runtime benchmark: pingpong + tiered_write across shard
+## counts with the shards-1-vs-N identity flag and sync-overhead
+## accounting; writes BENCH_shard.json (override: SHARDS=1,2,4)
+shard:
+	$(PYTHON) benchmarks/bench_shard.py $(if $(SHARDS),--shards $(SHARDS))
+
+## shard smoke: small scenarios, identity asserts only, no JSON
+shard-check:
+	$(PYTHON) benchmarks/bench_shard.py --check
+
+## shard-marked tier-1 tests only (conservative-sync planner, partition
+## determinism, inbox ordering, cross-shard-count identity, lookahead
+## safety property)
+shard-test:
+	$(PYTHON) -m pytest -q -m shard

@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Sharded-runtime benchmark: identity across shard counts + sync cost.
+
+Runs each shard-native scenario (``repro.sim.shard`` registry) at every
+requested shard count and writes ``BENCH_shard.json`` (``make shard``):
+
+* ``pingpong`` — message-bound: 4 independent host pairs trading RTT
+  ladders, the worst case for conservative sync (tiny windows, null
+  messages dominate);
+* ``tiered_write`` — the fig10a-class heavy scenario: 8 client hosts x
+  16 writers appending through 4 segment-store hosts that group-commit
+  a journal and tier chunks to long-term storage (the paper's write
+  path), compute-bound with millisecond flush batching.
+
+Per run the record carries events/s, per-shard kernel-event and wall
+breakdowns, and the synchronizer's overhead accounting (rounds, null
+messages, average grant window, lookahead utilization, IPC wall).  The
+**asserted** bar is determinism, not speed: every scenario's
+``identical_across_shards`` flag must hold — shards=N reproduces the
+shards=1 deterministic view exactly (metrics + merged per-host records;
+wall clocks and kernel event counts are per-run mechanics).  The
+reference container has 1 core, so sharded walls include process + IPC
+overhead with zero parallel win available; speedups here are
+informational with that core-bound caveat, exactly as BENCH_suite.json
+records its jobs speedup.
+
+Claims asserted on a full run (exit non-zero on violation):
+
+* every scenario is identical across all shard counts;
+* every multi-shard run reports a strictly positive lookahead and at
+  least one synchronization round;
+* tiered_write actually tiers (chunks reach the LTS host) and every
+  append is acked.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py             # full run
+    PYTHONPATH=src python benchmarks/bench_shard.py --check     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_shard.py --shards 1,2,4,8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.shard import (  # noqa: E402
+    ScenarioSpec,
+    deterministic_view,
+    run_sharded,
+)
+
+SHARD_COUNTS = [1, 2, 4]
+
+#: the committed sweep: one message-bound and one fig10a-class
+#: compute-bound scenario (≈1M kernel events at shards=1)
+BENCH_SPECS = [
+    ScenarioSpec.make("pingpong", pairs=4, rounds=2000, nbytes=1024),
+    ScenarioSpec.make(
+        "tiered_write",
+        clients=8,
+        servers=4,
+        writers=16,
+        events_per_writer=4000,
+        event_bytes=10_000,
+    ),
+]
+
+CHECK_SPECS = [
+    ScenarioSpec.make("pingpong", pairs=2, rounds=200, nbytes=1024),
+    # each server commits ~4.8 MB — past one 4 MiB chunk, so the check
+    # also exercises the tiering leg
+    ScenarioSpec.make(
+        "tiered_write",
+        clients=2,
+        servers=2,
+        writers=4,
+        events_per_writer=120,
+        event_bytes=10_000,
+    ),
+]
+CHECK_BUDGET_S = 120.0
+
+
+def run_scenario(spec: ScenarioSpec, shard_counts: List[int]) -> Dict:
+    """One scenario across ``shard_counts``; returns its bench record."""
+    runs: List[Dict] = []
+    views = {}
+    for shards in shard_counts:
+        report = run_sharded(spec, shards=shards)
+        views[shards] = deterministic_view(report)
+        runs.append({
+            "shards": report["shards"],
+            "shard_map": report["shard_map"],
+            "balance": report["balance"],
+            "wall_s": round(report["wall_s"], 3),
+            "kernel_events": report["kernel_events"],
+            "events_per_sec": round(report["events_per_sec"]),
+            "per_shard": [
+                {
+                    "shard": s["shard"],
+                    "hosts": len(s["hosts"]),
+                    "kernel_events": s["kernel_events"],
+                    "messages_sent": s["messages_sent"],
+                    "remote_messages": s["remote_messages"],
+                    "compute_wall_s": round(s["compute_wall_s"], 3),
+                }
+                for s in report["shard_stats"]
+            ],
+            "sync": {
+                **{k: v for k, v in report["sync"].items()},
+                "ipc_wall_s": round(report["sync"]["ipc_wall_s"], 3),
+            },
+        })
+    baseline = views[shard_counts[0]]
+    identical = all(views[n] == baseline for n in shard_counts)
+    single_wall = next(r["wall_s"] for r in runs if r["shards"] == 1)
+    for run in runs:
+        run["speedup_vs_single"] = (
+            round(single_wall / run["wall_s"], 2) if run["wall_s"] > 0 else None
+        )
+    return {
+        "name": spec.name,
+        "params": dict(spec.params),
+        "identical_across_shards": identical,
+        "sim_time_s": baseline["sim_time_s"],
+        "metrics": baseline["metrics"],
+        "runs": runs,
+    }
+
+
+def check_claims(scenarios: List[Dict]) -> List[str]:
+    failures: List[str] = []
+    for scenario in scenarios:
+        name = scenario["name"]
+        if not scenario["identical_across_shards"]:
+            failures.append(f"{name}: results diverge across shard counts")
+        for run in scenario["runs"]:
+            if run["shards"] > 1:
+                sync = run["sync"]
+                if not sync["lookahead_s"] > 0:
+                    failures.append(
+                        f"{name} shards={run['shards']}: non-positive lookahead"
+                    )
+                if not sync["rounds"] > 0:
+                    failures.append(
+                        f"{name} shards={run['shards']}: zero sync rounds"
+                    )
+        if name == "tiered_write":
+            metrics = scenario["metrics"]
+            if metrics.get("chunks_tiered", 0) < 1:
+                failures.append("tiered_write: nothing reached long-term storage")
+            expected = 1
+            for key in ("clients", "writers", "events_per_writer"):
+                expected *= scenario["params"][key]
+            if metrics.get("events_acked") != expected:
+                failures.append(
+                    f"tiered_write: {metrics.get('events_acked')} acked != {expected}"
+                )
+    return failures
+
+
+def _describe(scenario: Dict) -> str:
+    flag = "ok " if scenario["identical_across_shards"] else "DIVERGED"
+    lines = [f"  {flag} {scenario['name']}"]
+    for run in scenario["runs"]:
+        sync = run["sync"]
+        lines.append(
+            f"       shards={run['shards']}: {run['wall_s']:7.2f}s wall, "
+            f"{run['kernel_events']:>9,} events, {run['events_per_sec']:>9,}/s, "
+            f"{sync['rounds']:,} rounds, {sync['null_messages']:,} nulls, "
+            f"window {sync['avg_window_s'] * 1e3:.2f} ms "
+            f"({sync['lookahead_utilization']:.1f}x lookahead)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shards", default=None,
+        help=f"comma-separated shard counts (default {SHARD_COUNTS})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="small scenarios, identity asserts only, no JSON",
+    )
+    parser.add_argument("--json", default="BENCH_shard.json")
+    args = parser.parse_args(argv)
+
+    shard_counts = SHARD_COUNTS
+    if args.shards:
+        shard_counts = sorted({int(t) for t in args.shards.split(",") if t})
+        if not shard_counts or shard_counts[0] < 1:
+            raise SystemExit(f"bad --shards value {args.shards!r}")
+    if 1 not in shard_counts:
+        raise SystemExit("--shards must include 1 (the identity baseline)")
+
+    if args.check:
+        start = time.perf_counter()
+        scenarios = [run_scenario(spec, [1, 2, 3]) for spec in CHECK_SPECS]
+        wall = time.perf_counter() - start
+        failures = check_claims(scenarios)
+        for scenario in scenarios:
+            print(_describe(scenario))
+        for failure in failures:
+            print(f"shard check FAILED: {failure}")
+        if wall > CHECK_BUDGET_S:
+            failures.append("wall budget")
+            print(f"shard check FAILED: {wall:.1f}s exceeds {CHECK_BUDGET_S:.0f}s")
+        if not failures:
+            print(f"shard check ok ({wall:.1f}s)")
+        return 1 if failures else 0
+
+    print(
+        f"running {len(BENCH_SPECS)} shard scenarios at counts {shard_counts} "
+        f"({os.cpu_count()} cpus)"
+    )
+    start = time.perf_counter()
+    scenarios = [run_scenario(spec, shard_counts) for spec in BENCH_SPECS]
+    wall = time.perf_counter() - start
+    for scenario in scenarios:
+        print(_describe(scenario))
+    failures = check_claims(scenarios)
+    for failure in failures:
+        print(f"shard claim FAILED: {failure}")
+
+    report = {
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "determinism is the asserted bar: shards=N must reproduce the "
+            "shards=1 deterministic view exactly.  The reference container "
+            "has 1 core, so sharded walls add process+IPC overhead with no "
+            "parallel win available; speedup_vs_single is informational "
+            "(core-bound), as with the BENCH_suite.json jobs speedup."
+        ),
+        "shard_counts": shard_counts,
+        "wall_s_total": round(wall, 3),
+        "scenarios": scenarios,
+    }
+    out = os.path.abspath(args.json)
+    if os.path.exists(out):
+        try:
+            with open(out) as fh:
+                previous = json.load(fh)
+            if isinstance(previous, dict) and "gate" in previous:
+                report["gate"] = previous["gate"]
+        except (OSError, ValueError):
+            pass
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out} ({len(scenarios)} scenarios, {wall:.1f}s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

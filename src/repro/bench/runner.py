@@ -96,6 +96,15 @@ class WorkloadSpec:
     #: set.  Strictly an approximation: steady-state stretches are
     #: integrated analytically, transitions stay exact.
     fluid: Optional[object] = None
+    #: multi-process sharding request (repro.sim.shard).  The discrete
+    #: Pravega/Kafka/Pulsar adapters call across host objects through
+    #: shared Python state, so they cannot be process-partitioned:
+    #: asking for ``shards > 1`` here records ``extra["shard.refusal"]``
+    #: and runs single-shard — the same refusal ladder the fluid mode
+    #: uses for unsupported scenarios.  Shard-native actor scenarios run
+    #: through ``repro.sim.shard.run_sharded`` instead (see DESIGN.md
+    #: §14).
+    shards: int = 1
 
     @property
     def peak_rate(self) -> float:
@@ -180,6 +189,12 @@ class WorkloadEngine:
         if fluid_spec is None and os.environ.get("REPRO_FLUID"):
             fluid_spec = FluidSpec()
         self._fluid_spec = fluid_spec
+        shards = spec.shards
+        if shards == 1 and os.environ.get("REPRO_SHARDS"):
+            shards = max(1, int(os.environ["REPRO_SHARDS"]))
+        #: sharding request after the env toggle (``--shards`` plumbing);
+        #: >1 on a discrete adapter records the refusal at finalize.
+        self._shards_requested = shards
         #: the hybrid-mode controller (None when fully discrete)
         self.fluid: Optional[FluidController] = None
 
@@ -429,6 +444,11 @@ class WorkloadEngine:
             result.extra["fluid.recalibrations"] = float(fluid.recalibrations)
             if fluid.refusal is not None:
                 result.extra["fluid.refusal"] = fluid.refusal
+        if self._shards_requested > 1:
+            result.extra["shard.refusal"] = (
+                "discrete adapters share in-process state across hosts; "
+                "ran single-shard (shard-native scenarios: repro.sim.shard)"
+            )
         return result
 
 

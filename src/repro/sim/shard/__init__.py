@@ -1,0 +1,44 @@
+"""Sharded multi-core simulation runtime (conservative lookahead sync).
+
+Partitions a shard-native scenario's hosts across N worker processes,
+each running its own :class:`~repro.sim.core.Simulator`, synchronized
+conservatively at network boundaries: a shard may advance to
+``min(neighbour_earliest_send + link_lookahead)`` where lookahead is
+the minimum network delay (``Network.lookahead``, derived from
+``NetworkSpec.rtt``).  ``shards=1`` — the default everywhere — runs the
+same engine in-process with no synchronizer, and scenario results are
+identical for every shard count (see DESIGN.md §14).
+
+Entry points:
+
+* :func:`run_sharded` — run a :class:`ScenarioSpec` on N shards;
+* :func:`partition_hosts` — the weighted host partitioner;
+* :data:`SHARD_SCENARIOS` — the shard-native scenario registry.
+"""
+
+from repro.sim.shard.engine import Actor, MergeableHist, ShardEnv
+from repro.sim.shard.partition import balance_report, partition_hosts
+from repro.sim.shard.runtime import deterministic_view, run_sharded
+from repro.sim.shard.scenarios import (
+    SHARD_SCENARIOS,
+    ScenarioSpec,
+    ShardScenario,
+    build_scenario,
+)
+from repro.sim.shard.sync import GrantPlanner, lookahead_matrix
+
+__all__ = [
+    "Actor",
+    "GrantPlanner",
+    "MergeableHist",
+    "SHARD_SCENARIOS",
+    "ScenarioSpec",
+    "ShardEnv",
+    "ShardScenario",
+    "balance_report",
+    "build_scenario",
+    "deterministic_view",
+    "lookahead_matrix",
+    "partition_hosts",
+    "run_sharded",
+]

@@ -1,0 +1,347 @@
+"""Actor-model execution environment for shardable scenarios.
+
+A shardable scenario is a set of *actors* pinned to hosts that interact
+**only** through network messages (plus local timers/processes on their
+own host).  That restriction is what makes conservative parallelism
+possible: the minimum network delay between two hosts bounds how far
+apart their shards' clocks may drift, so entity graphs that call each
+other through shared Python state (the discrete Pravega/Kafka/Pulsar
+stacks) cannot shard — they refuse and run single-shard (see
+``WorkloadSpec.shards``).
+
+Determinism across shard counts is anchored on the **ordered inbox**:
+every cross-actor message — local or remote — is delivered through the
+destination host's inbox in ``(delivery_time, src_host, link_seq)``
+order, a total order computed entirely on the sender side.  A shard's
+execution is a deterministic function of its inbox contents, the inbox
+order does not depend on how hosts are grouped into shards, and the
+conservative synchronizer guarantees a message is always injected
+before the destination clock reaches its timestamp.  Hence scenario
+results are identical for every shard count (the suite-style identity
+guard in tests/test_shard_runtime.py and ``BENCH_shard.json``).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Process, Simulator
+from repro.sim.network import Network, NetworkSpec
+
+__all__ = ["Actor", "MergeableHist", "ShardEnv"]
+
+#: a routed message: (delivery_time, src_host, link_seq, dst_host,
+#: dst_actor, nbytes, payload) — the first three are the total delivery
+#: order; payloads must be picklable when the message crosses a shard.
+Message = Tuple[float, str, int, str, str, int, Any]
+
+
+class MergeableHist:
+    """Fixed geometric-bin latency histogram that merges exactly.
+
+    The per-shard-count identity contract rules out reservoir sampling
+    (``repro.common.metrics.LatencyHistogram`` keeps raw samples whose
+    merge order would depend on the shard layout): fixed log-spaced bins
+    make per-host recording and cross-host merging order-independent.
+    Bins span 1 us .. 1000 s at 20 per decade; quantiles report the
+    geometric midpoint of the containing bin.
+    """
+
+    LO = 1e-6
+    PER_DECADE = 20
+    BIN_COUNT = 9 * PER_DECADE  # 1e-6 .. 1e3
+
+    __slots__ = ("bins", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise SimulationError(f"negative latency sample: {value}")
+        if value <= self.LO:
+            idx = 0
+        else:
+            idx = min(
+                int(self.PER_DECADE * math.log10(value / self.LO)),
+                self.BIN_COUNT - 1,
+            )
+        self.bins[idx] = self.bins.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "MergeableHist") -> None:
+        for idx, n in other.bins.items():
+            self.bins[idx] = self.bins.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def quantile(self, q: float) -> float:
+        """The geometric midpoint of the bin holding the q-quantile."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for idx in sorted(self.bins):
+            seen += self.bins[idx]
+            if seen >= rank:
+                lo = self.LO * 10 ** (idx / self.PER_DECADE)
+                hi = self.LO * 10 ** ((idx + 1) / self.PER_DECADE)
+                return math.sqrt(lo * hi)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "bins": {str(k): v for k, v in sorted(self.bins.items())},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MergeableHist":
+        hist = cls()
+        hist.bins = {int(k): int(v) for k, v in data["bins"].items()}
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        hist.min = float(data["min"]) if hist.count else math.inf
+        hist.max = float(data["max"])
+        return hist
+
+
+class Actor:
+    """A scenario entity pinned to a host.
+
+    Subclasses override :meth:`start` (spawn processes, send the first
+    messages), :meth:`on_message` (react to a delivery at the current
+    simulated time) and :meth:`collect` (the host-keyed result record —
+    only picklable primitives).  Actors must not share mutable state
+    across hosts: in a sharded run another host's actor may live in a
+    different process.
+    """
+
+    def __init__(self, host: str, name: str) -> None:
+        self.host = host
+        self.name = name
+        self.env: "ShardEnv" = None  # type: ignore[assignment] - bound on add
+
+    @property
+    def sim(self) -> Simulator:
+        return self.env.sim
+
+    def send(self, dst_host: str, dst_actor: str, nbytes: int, payload: Any = None) -> None:
+        self.env.send(self.host, dst_host, dst_actor, nbytes, payload)
+
+    def spawn(self, gen) -> Process:
+        return self.env.spawn(self.host, gen)
+
+    def start(self) -> None:  # pragma: no cover - default no-op
+        return None
+
+    def on_message(self, src_host: str, payload: Any, nbytes: int) -> None:
+        raise NotImplementedError
+
+    def collect(self) -> dict:  # pragma: no cover - default no-op
+        return {}
+
+
+class _Inbox:
+    """Per-host ordered delivery queue.
+
+    Messages land in a heap keyed ``(time, src_host, link_seq)``; one
+    pump timer per inbox fires at the earliest delivery instant and
+    drains every message due at that instant in key order.  Remote
+    injections (window boundaries) and local sends (mid-window) share
+    this path, so the delivery order an actor observes is independent
+    of which process its peers ran in.
+    """
+
+    __slots__ = ("env", "host", "_heap", "_timer", "_timer_time", "_pump_cb")
+
+    def __init__(self, env: "ShardEnv", host: str) -> None:
+        self.env = env
+        self.host = host
+        self._heap: List[Tuple[float, str, int, str, int, Any]] = []
+        self._timer = None
+        self._timer_time = math.inf
+        self._pump_cb = self._pump
+
+    def insert(
+        self, when: float, src: str, seq: int, actor: str, nbytes: int, payload: Any
+    ) -> None:
+        heappush(self._heap, (when, src, seq, actor, nbytes, payload))
+        if when < self._timer_time:
+            self._reschedule(when)
+
+    def _reschedule(self, when: float) -> None:
+        sim = self.env.sim
+        if self._timer is not None:
+            sim.cancel(self._timer)
+        self._timer = sim.schedule_at(when, self._pump_cb)
+        self._timer_time = when
+
+    def _pump(self) -> None:
+        env = self.env
+        sim = env.sim
+        now = sim._now
+        heap = self._heap
+        dispatch = env._dispatch
+        while heap and heap[0][0] <= now:
+            when, src, _seq, actor, nbytes, payload = heappop(heap)
+            if when < now:
+                raise SimulationError(
+                    f"inbox {self.host}: delivery at {when} reached in its past "
+                    f"(now={now}) — conservative sync violated"
+                )
+            dispatch(self.host, actor, src, payload, nbytes)
+        if heap:
+            self._reschedule(heap[0][0])
+        else:
+            self._timer = None
+            self._timer_time = math.inf
+
+
+class ShardEnv:
+    """One shard's execution environment (also the shards=1 whole run).
+
+    Owns the local :class:`Simulator`, the :class:`Network` (all hosts
+    of the scenario are addressable; only ``local_hosts`` live here),
+    the per-host inboxes and the actor registry.  Messages to non-local
+    hosts are buffered per destination shard for the synchronizer to
+    exchange at the next window boundary.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network_spec: NetworkSpec,
+        local_hosts: List[str],
+        owner_of: Optional[Dict[str, int]] = None,
+        shard_id: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.network = Network(sim, network_spec)
+        self.shard_id = shard_id
+        self.local_hosts = set(local_hosts)
+        #: host -> shard id for every host of the scenario (None in the
+        #: single-shard case: everything is local)
+        self.owner_of = owner_of
+        self.actors: Dict[Tuple[str, str], Actor] = {}
+        self._inboxes: Dict[str, _Inbox] = {
+            host: _Inbox(self, host) for host in sorted(local_hosts)
+        }
+        self._link_seq: Dict[Tuple[str, str], int] = {}
+        #: dst shard -> outbound messages generated this window
+        self._outbound: Dict[int, List[Message]] = {}
+        #: deliveries + spawns per host — the partitioner's weight
+        #: currency (``profile_paths.py --by-host``); identical across
+        #: shard counts, so it is part of the deterministic view.
+        self.host_events: Dict[str, int] = {host: 0 for host in sorted(local_hosts)}
+        self.messages_sent = 0
+        self.remote_messages = 0
+        self.deliveries = 0
+
+    # -- registry ------------------------------------------------------
+    def add_actor(self, actor: Actor) -> Actor:
+        if actor.host not in self.local_hosts:
+            raise SimulationError(
+                f"actor {actor.name} pinned to non-local host {actor.host}"
+            )
+        key = (actor.host, actor.name)
+        if key in self.actors:
+            raise SimulationError(f"duplicate actor {key}")
+        actor.env = self
+        self.actors[key] = actor
+        return actor
+
+    def start_actors(self) -> None:
+        for key in sorted(self.actors):
+            self.actors[key].start()
+
+    # -- messaging -----------------------------------------------------
+    def spawn(self, host: str, gen) -> Process:
+        self.host_events[host] += 1
+        return self.sim.process(gen)
+
+    def send(
+        self, src: str, dst: str, dst_actor: str, nbytes: int, payload: Any = None
+    ) -> None:
+        """Route one message; the network prices it, the inbox orders it.
+
+        The delivery instant is computed *here*, once, on the sender's
+        clock (``now + send_delay``) and carried as an absolute
+        timestamp whether the destination is local or remote — both
+        paths schedule the same float, which is what makes shards=N
+        byte-identical to shards=1.
+        """
+        delay = self.network.send_delay(src, dst, nbytes)
+        when = self.sim._now + delay
+        key = (src, dst)
+        seq = self._link_seq.get(key, 0)
+        self._link_seq[key] = seq + 1
+        self.messages_sent += 1
+        if dst in self.local_hosts:
+            self._inboxes[dst].insert(when, src, seq, dst_actor, nbytes, payload)
+            return
+        owner = self.owner_of
+        if owner is None:
+            raise SimulationError(f"unknown destination host: {dst}")
+        self.remote_messages += 1
+        self._outbound.setdefault(owner[dst], []).append(
+            (when, src, seq, dst, dst_actor, nbytes, payload)
+        )
+
+    def inject(self, batch: List[Message]) -> None:
+        """Deliver a synchronizer batch into the local inboxes.
+
+        The synchronizer pre-sorts by ``(time, src, seq)``; insertion
+        order does not matter for correctness (the inbox heap re-orders)
+        but sorted injection keeps pump rescheduling minimal.
+        """
+        for when, src, seq, dst, dst_actor, nbytes, payload in batch:
+            self._inboxes[dst].insert(when, src, seq, dst_actor, nbytes, payload)
+
+    def take_outbound(self) -> Dict[int, List[Message]]:
+        out = self._outbound
+        self._outbound = {}
+        return out
+
+    def _dispatch(
+        self, host: str, actor_name: str, src: str, payload: Any, nbytes: int
+    ) -> None:
+        actor = self.actors.get((host, actor_name))
+        if actor is None:
+            raise SimulationError(f"no actor {actor_name!r} on host {host!r}")
+        self.deliveries += 1
+        self.host_events[host] += 1
+        actor.on_message(src, payload, nbytes)
+
+    # -- results -------------------------------------------------------
+    def collect_hosts(self) -> Dict[str, dict]:
+        """Per-host result records, merged over each host's actors."""
+        per_host: Dict[str, dict] = {}
+        for (host, name) in sorted(self.actors):
+            record = self.actors[(host, name)].collect()
+            if record:
+                per_host.setdefault(host, {})[name] = record
+        for host in sorted(self.local_hosts):
+            per_host.setdefault(host, {})["_events"] = self.host_events[host]
+        return per_host

@@ -1,0 +1,102 @@
+"""Host-to-shard partitioning for the sharded simulation runtime.
+
+The unit of partitioning is the *host*: every entity of a scenario is
+pinned to a host, all intra-host traffic (``NetworkSpec.local_latency``)
+stays shard-local by construction, and only cross-host messages ever
+cross a shard boundary.  The partitioner therefore solves a weighted
+balanced-assignment problem over hosts:
+
+* weights default to 1.0 per host; callers that profiled a scenario
+  first (``benchmarks/profile_paths.py --by-host``) pass the measured
+  events-per-host so heavy hosts spread across shards;
+* assignment is longest-processing-time greedy (sort hosts by
+  descending weight, always place into the lightest shard), with all
+  ties broken lexicographically — the same inputs always produce the
+  same map, which the cross-shard-count determinism contract relies on;
+* ``group`` constraints pin named host sets to one shard (e.g. a region
+  whose hosts share simulated state outside the network).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.common.errors import SimulationError
+
+__all__ = ["partition_hosts", "balance_report"]
+
+
+def partition_hosts(
+    hosts: Sequence[str],
+    shards: int,
+    weights: Optional[Mapping[str, float]] = None,
+    groups: Optional[Iterable[Sequence[str]]] = None,
+) -> Dict[str, int]:
+    """Assign each host to a shard id in ``range(shards)``.
+
+    Returns a ``host -> shard_id`` map.  ``shards`` is clamped to the
+    number of assignable units (a scenario with 3 hosts on 8 shards uses
+    3).  Hosts listed together in a ``groups`` entry land on one shard.
+    """
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    hosts = list(hosts)
+    if len(set(hosts)) != len(hosts):
+        raise SimulationError("duplicate host names in partition input")
+    if not hosts:
+        raise SimulationError("cannot partition an empty host list")
+
+    weight_of = {h: float(weights[h]) if weights and h in weights else 1.0 for h in hosts}
+    for host, w in weight_of.items():
+        if w < 0:
+            raise SimulationError(f"negative partition weight for {host}: {w}")
+
+    # Fold grouped hosts into single assignable units.
+    unit_hosts: Dict[str, List[str]] = {h: [h] for h in hosts}
+    if groups:
+        for group in groups:
+            members = [h for h in group if h in unit_hosts]
+            missing = [h for h in group if h not in unit_hosts]
+            if missing:
+                raise SimulationError(f"group names unknown hosts: {missing}")
+            if len(members) < 2:
+                continue
+            anchor = min(members)
+            merged: List[str] = []
+            for member in members:
+                merged.extend(unit_hosts.pop(member))
+            unit_hosts[anchor] = sorted(merged)
+
+    units = sorted(
+        unit_hosts,
+        key=lambda u: (-sum(weight_of[h] for h in unit_hosts[u]), u),
+    )
+    shards = min(shards, len(units))
+    loads = [0.0] * shards
+    assignment: Dict[str, int] = {}
+    for unit in units:
+        # Lightest shard wins; ties go to the lowest shard id.
+        target = min(range(shards), key=lambda i: (loads[i], i))
+        loads[target] += sum(weight_of[h] for h in unit_hosts[unit])
+        for host in unit_hosts[unit]:
+            assignment[host] = target
+    return assignment
+
+
+def balance_report(
+    assignment: Mapping[str, int], weights: Optional[Mapping[str, float]] = None
+) -> Dict[str, object]:
+    """Balance statistics of a shard map: per-shard load, imbalance ratio."""
+    loads: Dict[int, float] = {}
+    for host, shard in assignment.items():
+        w = float(weights[host]) if weights and host in weights else 1.0
+        loads[shard] = loads.get(shard, 0.0) + w
+    values = [loads[s] for s in sorted(loads)]
+    mean = sum(values) / len(values)
+    return {
+        "shards": len(values),
+        "loads": values,
+        "max_load": max(values),
+        "mean_load": mean,
+        "imbalance": (max(values) / mean) if mean > 0 else 1.0,
+    }

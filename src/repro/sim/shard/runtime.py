@@ -1,0 +1,271 @@
+"""Sharded run orchestration: partition, fork, synchronize, merge.
+
+:func:`run_sharded` is the single entry point.  ``shards=1`` (the
+default everywhere) runs the scenario in-process on one Simulator —
+same engine, same inbox ordering, no processes, no synchronizer — so
+the sharding machinery is completely inert unless asked for.  With
+``shards>1`` the hosts are partitioned (``partition_hosts``), one
+worker process per shard is forked, and the coordinator drives
+conservative grant rounds (``GrantPlanner``) over pipes until every
+shard's activity clears the stop bound.
+
+The report separates the **deterministic view** — scenario metrics and
+merged per-host records, identical for every shard count — from
+per-run mechanics (wall clocks, kernel event counts, sync overhead)
+that legitimately vary; ``deterministic_view`` extracts the former for
+identity guards (the same split ``bench/suite.py`` applies across job
+counts).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+from time import perf_counter
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.shard.engine import ShardEnv
+from repro.sim.shard.partition import balance_report, partition_hosts
+from repro.sim.shard.scenarios import ScenarioSpec, build_scenario
+from repro.sim.shard.sync import GrantPlanner, lookahead_matrix
+from repro.sim.shard.worker import worker_main
+
+__all__ = ["run_sharded", "deterministic_view"]
+
+#: messages sort by (delivery_time, src_host, link_seq) — the global
+#: delivery order the engine's inboxes enforce.
+_ORDER = slice(0, 3)
+
+
+def _run_single(spec: ScenarioSpec, until: float) -> Dict[str, Any]:
+    scenario = build_scenario(spec)
+    sim = Simulator()
+    hosts = sorted(scenario.hosts())
+    env = ShardEnv(
+        sim,
+        scenario.network_spec(),
+        hosts,
+        owner_of={h: 0 for h in hosts},
+        shard_id=0,
+    )
+    for host in hosts:
+        scenario.build_host(env, host)
+    t0 = perf_counter()
+    env.start_actors()
+    sim.run_horizon(until)
+    wall = perf_counter() - t0
+    per_host = env.collect_hosts()
+    return {
+        "per_host": per_host,
+        "shard_stats": [
+            {
+                "shard": 0,
+                "hosts": hosts,
+                "kernel_events": sim.stats.events_executed,
+                "microtasks": sim.stats.microtasks_executed,
+                "messages_sent": env.messages_sent,
+                "remote_messages": env.remote_messages,
+                "deliveries": env.deliveries,
+                "compute_wall_s": wall,
+                "sim_time_s": sim.now,
+            }
+        ],
+        "sync": {
+            "rounds": 0,
+            "grants_sent": 0,
+            "null_messages": 0,
+            "lookahead_s": 0.0,
+            "avg_window_s": 0.0,
+            "lookahead_utilization": 0.0,
+            "ipc_wall_s": 0.0,
+        },
+        "wall_s": wall,
+    }
+
+
+def _run_multi(
+    spec: ScenarioSpec,
+    until: float,
+    owner_of: Dict[str, int],
+    nshards: int,
+    network_spec,
+) -> Dict[str, Any]:
+    planner = GrantPlanner(nshards, lookahead_matrix(owner_of, network_spec, nshards), until)
+    ctx = mp.get_context("fork")
+    pipes = []
+    procs = []
+    t_start = perf_counter()
+    for shard_id in range(nshards):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, spec, shard_id, owner_of),
+            name=f"shard-{shard_id}",
+        )
+        proc.start()
+        child_conn.close()
+        pipes.append(parent_conn)
+        procs.append(proc)
+
+    pending: Dict[int, List[tuple]] = {i: [] for i in range(nshards)}
+    next_times: List[Optional[float]] = [None] * nshards
+    ipc_wall = 0.0
+
+    def _recv(shard_id: int, want: str):
+        msg = pipes[shard_id].recv()
+        if msg[0] == "error":
+            raise SimulationError(f"shard {shard_id} failed: {msg[2]}")
+        if msg[0] != want:
+            raise SimulationError(
+                f"shard {shard_id}: expected {want!r}, got {msg[0]!r}"
+            )
+        return msg
+
+    def _absorb_outbound(outbound: Mapping[int, List[tuple]]) -> None:
+        for dst_shard, messages in outbound.items():
+            pending[dst_shard].extend(messages)
+            for message in messages:
+                planner.note_pending(dst_shard, message[0])
+
+    try:
+        t0 = perf_counter()
+        for shard_id in range(nshards):
+            _, _, next_time, outbound = _recv(shard_id, "ready")
+            next_times[shard_id] = next_time
+            _absorb_outbound(outbound)
+        ipc_wall += perf_counter() - t0
+
+        while not planner.finished(next_times):
+            horizons = planner.horizons(next_times)
+            for shard_id in range(nshards):
+                batch = pending[shard_id]
+                if batch:
+                    batch.sort(key=lambda m: m[_ORDER])
+                    pending[shard_id] = []
+                    planner.clear_pending(shard_id)
+                planner.record_grant(len(batch))
+                pipes[shard_id].send(("grant", horizons[shard_id], batch))
+            t0 = perf_counter()
+            for shard_id in range(nshards):
+                _, _, next_time, outbound = _recv(shard_id, "done")
+                next_times[shard_id] = next_time
+                _absorb_outbound(outbound)
+            ipc_wall += perf_counter() - t0
+
+        per_host: Dict[str, Any] = {}
+        shard_stats: List[dict] = []
+        for shard_id in range(nshards):
+            pipes[shard_id].send(("finish",))
+        t0 = perf_counter()
+        for shard_id in range(nshards):
+            _, _, hosts, stats = _recv(shard_id, "result")
+            overlap = set(hosts) & set(per_host)
+            if overlap:
+                raise SimulationError(f"hosts reported twice: {sorted(overlap)}")
+            per_host.update(hosts)
+            shard_stats.append(stats)
+        ipc_wall += perf_counter() - t0
+    finally:
+        for conn in pipes:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=30.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    for proc in procs:
+        if proc.exitcode != 0:
+            raise SimulationError(
+                f"shard process {proc.name} exited with {proc.exitcode}"
+            )
+    sync = planner.stats()
+    sync["ipc_wall_s"] = ipc_wall
+    return {
+        "per_host": per_host,
+        "shard_stats": shard_stats,
+        "sync": sync,
+        "wall_s": perf_counter() - t_start,
+    }
+
+
+def run_sharded(
+    spec: ScenarioSpec,
+    shards: int = 1,
+    shard_map: Optional[Mapping[str, int]] = None,
+    weights: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Any]:
+    """Run a shard scenario on ``shards`` event loops; merge the results.
+
+    ``shard_map`` overrides the partitioner (host -> shard id; ids must
+    be dense from 0).  ``weights`` feed the partitioner instead of the
+    scenario's static ``host_weight`` (e.g. measured events-per-host
+    from ``profile_paths.py --by-host``).
+    """
+    scenario = build_scenario(spec)
+    hosts = sorted(scenario.hosts())
+    until = scenario.until()
+    if not (until > 0):
+        raise SimulationError(f"scenario stop bound must be > 0, got {until}")
+    if shard_map is not None:
+        owner_of = dict(shard_map)
+        missing = [h for h in hosts if h not in owner_of]
+        if missing:
+            raise SimulationError(f"shard_map missing hosts: {missing}")
+        ids = sorted(set(owner_of.values()))
+        if ids != list(range(len(ids))):
+            raise SimulationError(f"shard ids must be dense from 0, got {ids}")
+        nshards = len(ids)
+    else:
+        weight_of = weights if weights is not None else {
+            h: scenario.host_weight(h) for h in hosts
+        }
+        owner_of = partition_hosts(hosts, shards, weights=weight_of)
+        nshards = max(owner_of.values()) + 1
+
+    if nshards == 1:
+        body = _run_single(spec, until)
+    else:
+        body = _run_multi(spec, until, owner_of, nshards, scenario.network_spec())
+
+    metrics = scenario.summarize(body["per_host"])
+    events = sum(s["kernel_events"] for s in body["shard_stats"])
+    report = {
+        "scenario": spec.name,
+        "params": dict(spec.params),
+        "shards": nshards,
+        "shard_map": owner_of,
+        "balance": balance_report(
+            owner_of, weights or {h: scenario.host_weight(h) for h in hosts}
+        ),
+        "sim_time_s": until,
+        "metrics": metrics,
+        "per_host": body["per_host"],
+        "kernel_events": events,
+        "events_per_sec": events / body["wall_s"] if body["wall_s"] > 0 else 0.0,
+        "wall_s": body["wall_s"],
+        "shard_stats": body["shard_stats"],
+        "sync": body["sync"],
+    }
+    return report
+
+
+def deterministic_view(report: Mapping[str, Any]) -> Dict[str, Any]:
+    """The shard-count-invariant slice of a report.
+
+    Scenario metrics and merged per-host records are functions of the
+    inbox delivery order alone, which is independent of the shard
+    layout; wall clocks, kernel event counts (inbox pump rescheduling
+    differs per layout) and sync statistics are per-run mechanics and
+    are excluded.  This is the equality the identity guard and the
+    committed ``BENCH_shard.json`` flag assert.
+    """
+    return {
+        "scenario": report["scenario"],
+        "params": dict(report["params"]),
+        "sim_time_s": report["sim_time_s"],
+        "metrics": dict(report["metrics"]),
+        "per_host": report["per_host"],
+    }

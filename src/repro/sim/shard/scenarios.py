@@ -1,0 +1,462 @@
+"""Shard-native scenarios: actor-model workloads built for the runtime.
+
+A shard scenario describes *what runs on each host* without touching
+another host's Python state, so the runtime can place hosts in separate
+processes.  The contract (`ShardScenario`) is deliberately tiny:
+
+* ``hosts()`` — the host universe, order-insensitive;
+* ``host_weight(host)`` — a static partition weight (refine with
+  ``profile_paths.py --by-host`` measurements);
+* ``build_host(env, host)`` — instantiate that host's actors into a
+  :class:`~repro.sim.shard.engine.ShardEnv`;
+* ``until()`` — the simulated-time stop bound;
+* ``summarize(per_host)`` — fold merged per-host records into the
+  scenario-level metric dict (the deterministic view).
+
+Workers receive only a :class:`ScenarioSpec` (registry name + params)
+over the pipe and rebuild the scenario locally — scenario objects never
+cross a process boundary, so they are free to hold closures.
+
+``tiered_write`` is the fig10a-class heavy scenario: client hosts each
+run W writers appending fixed-size events to a server host that
+group-commits to a journal (Bookkeeper-style flush interval) and acks,
+while a tiering loop drains committed bytes to long-term storage in
+chunks (the paper's write path, §III).  ``pingpong`` is the minimal
+two-host RTT ladder used by identity tests and the suite smoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.network import NetworkSpec
+from repro.sim.shard.engine import Actor, MergeableHist, ShardEnv
+
+__all__ = ["ScenarioSpec", "ShardScenario", "SHARD_SCENARIOS", "build_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Picklable handle for a shard scenario: registry name + params."""
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **params: Any) -> "ScenarioSpec":
+        return cls(name, tuple(sorted(params.items())))
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+class ShardScenario:
+    """Interface every shard-native scenario implements."""
+
+    def network_spec(self) -> NetworkSpec:
+        return NetworkSpec()
+
+    def hosts(self) -> List[str]:
+        raise NotImplementedError
+
+    def host_weight(self, host: str) -> float:
+        return 1.0
+
+    def build_host(self, env: ShardEnv, host: str) -> None:
+        raise NotImplementedError
+
+    def until(self) -> float:
+        raise NotImplementedError
+
+    def summarize(self, per_host: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# pingpong — minimal cross-host RTT ladder
+# ----------------------------------------------------------------------
+
+class _Pinger(Actor):
+    def __init__(self, host: str, peer: str, rounds: int, nbytes: int) -> None:
+        super().__init__(host, "pinger")
+        self.peer = peer
+        self.rounds = rounds
+        self.nbytes = nbytes
+        self.sent_at = 0.0
+        self.completed = 0
+        self.finished_at = 0.0
+        self.rtt_hist = MergeableHist()
+
+    def start(self) -> None:
+        self.sent_at = self.sim.now
+        self.send(self.peer, "ponger", self.nbytes, ("ping", self.completed))
+
+    def on_message(self, src_host: str, payload: Any, nbytes: int) -> None:
+        kind, _ = payload
+        if kind != "pong":
+            raise SimulationError(f"pinger got {kind!r}")
+        self.rtt_hist.record(self.sim.now - self.sent_at)
+        self.completed += 1
+        if self.completed < self.rounds:
+            self.sent_at = self.sim.now
+            self.send(self.peer, "ponger", self.nbytes, ("ping", self.completed))
+        else:
+            # The completion instant, not the final clock: the clock a
+            # run parks at (stop bound vs last grant horizon) is a
+            # per-run mechanic outside the deterministic view.
+            self.finished_at = self.sim.now
+
+    def collect(self) -> dict:
+        return {
+            "completed": self.completed,
+            "rtt_hist": self.rtt_hist.as_dict(),
+            "finished_at": self.finished_at,
+        }
+
+
+class _Ponger(Actor):
+    def __init__(self, host: str) -> None:
+        super().__init__(host, "ponger")
+        self.replied = 0
+
+    def on_message(self, src_host: str, payload: Any, nbytes: int) -> None:
+        kind, i = payload
+        if kind != "ping":
+            raise SimulationError(f"ponger got {kind!r}")
+        self.replied += 1
+        self.send(src_host, "pinger", nbytes, ("pong", i))
+
+    def collect(self) -> dict:
+        return {"replied": self.replied}
+
+
+class PingPong(ShardScenario):
+    """``pairs`` independent two-host ping/pong ladders."""
+
+    def __init__(self, pairs: int = 1, rounds: int = 1000, nbytes: int = 1024) -> None:
+        if pairs < 1 or rounds < 1:
+            raise SimulationError("pingpong needs pairs >= 1 and rounds >= 1")
+        self.pairs = pairs
+        self.rounds = rounds
+        self.nbytes = nbytes
+
+    def hosts(self) -> List[str]:
+        out: List[str] = []
+        for i in range(self.pairs):
+            out.append(f"ping-{i:02d}")
+            out.append(f"pong-{i:02d}")
+        return out
+
+    def build_host(self, env: ShardEnv, host: str) -> None:
+        kind, idx = host.split("-")
+        if kind == "ping":
+            env.add_actor(
+                _Pinger(host, f"pong-{idx}", rounds=self.rounds, nbytes=self.nbytes)
+            )
+        else:
+            env.add_actor(_Ponger(host))
+
+    def until(self) -> float:
+        # Generous bound: rounds * (overhead + serialization + rtt) * slack.
+        spec = self.network_spec()
+        per_round = 2 * (
+            spec.per_message_overhead + self.nbytes / spec.bandwidth + spec.rtt * 0.5
+        )
+        return self.rounds * per_round * 4.0
+
+    def summarize(self, per_host: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+        completed = 0
+        replied = 0
+        rtt = MergeableHist()
+        finished_at = 0.0
+        for i in range(self.pairs):
+            ping = per_host[f"ping-{i:02d}"]["pinger"]
+            completed += ping["completed"]
+            finished_at = max(finished_at, ping["finished_at"])
+            rtt.merge(MergeableHist.from_dict(ping["rtt_hist"]))
+            replied += per_host[f"pong-{i:02d}"]["ponger"]["replied"]
+        if completed != self.pairs * self.rounds:
+            raise SimulationError(
+                f"pingpong incomplete: {completed} != {self.pairs * self.rounds}"
+            )
+        return {
+            "pairs": self.pairs,
+            "rounds_completed": completed,
+            "pongs_replied": replied,
+            "rtt_mean_us": rtt.mean * 1e6,
+            "rtt_p50_us": rtt.quantile(0.50) * 1e6,
+            "rtt_p99_us": rtt.quantile(0.99) * 1e6,
+            "finished_at_s": finished_at,
+        }
+
+
+# ----------------------------------------------------------------------
+# tiered_write — fig10a-class write path: clients -> server journal -> LTS
+# ----------------------------------------------------------------------
+
+class _WriteClient(Actor):
+    """One client host running ``writers`` pipelined append streams."""
+
+    def __init__(
+        self,
+        host: str,
+        server: str,
+        writers: int,
+        events_per_writer: int,
+        event_bytes: int,
+    ) -> None:
+        super().__init__(host, "client")
+        self.server = server
+        self.writers = writers
+        self.events_per_writer = events_per_writer
+        self.event_bytes = event_bytes
+        self.sent: Dict[int, int] = {w: 0 for w in range(writers)}
+        self.acked: Dict[int, int] = {w: 0 for w in range(writers)}
+        self.inflight_at: Dict[int, float] = {}
+        self.lat_hist = MergeableHist()
+        self.done_at = 0.0
+
+    def _append(self, writer: int) -> None:
+        seq = self.sent[writer]
+        self.sent[writer] = seq + 1
+        self.inflight_at[writer] = self.sim.now
+        self.send(
+            self.server, "server", self.event_bytes, ("append", self.host, writer, seq)
+        )
+
+    def start(self) -> None:
+        # One outstanding append per writer (the paper's writers keep a
+        # bounded pipeline; depth 1 keeps the model minimal and ack-paced).
+        for writer in range(self.writers):
+            self._append(writer)
+
+    def on_message(self, src_host: str, payload: Any, nbytes: int) -> None:
+        kind, writer, seq = payload
+        if kind != "ack":
+            raise SimulationError(f"client got {kind!r}")
+        if seq != self.acked[writer]:
+            raise SimulationError(
+                f"out-of-order ack for {self.host}/w{writer}: {seq} != {self.acked[writer]}"
+            )
+        self.lat_hist.record(self.sim.now - self.inflight_at.pop(writer))
+        self.acked[writer] = seq + 1
+        if self.acked[writer] < self.events_per_writer:
+            self._append(writer)
+        elif all(a >= self.events_per_writer for a in self.acked.values()):
+            self.done_at = self.sim.now
+
+    def collect(self) -> dict:
+        return {
+            "events_acked": sum(self.acked.values()),
+            "lat_hist": self.lat_hist.as_dict(),
+            "done_at": self.done_at,
+        }
+
+
+class _TierServer(Actor):
+    """Segment-store host: group-commit journal + chunked tiering to LTS.
+
+    Appends accumulate in the commit buffer; a periodic flush process
+    (``flush_interval``) writes the batch to the journal (modelled as a
+    fixed ``journal_write_s`` plus size-proportional time) and acks every
+    append in the batch.  Committed bytes then tier to the LTS host in
+    ``chunk_bytes`` chunks — the paper's two-tier write path with
+    aggregation (§III-B).
+    """
+
+    FLUSH_INTERVAL = 2e-3
+    JOURNAL_WRITE_S = 500e-6
+    JOURNAL_BW = 400e6  # bytes/s sequential journal bandwidth
+    CHUNK_BYTES = 4 * 1024 * 1024
+
+    def __init__(self, host: str, lts: str) -> None:
+        super().__init__(host, "server")
+        self.lts = lts
+        self.pending: List[Tuple[str, int, int, int]] = []  # (client, writer, seq, nbytes)
+        self.pending_bytes = 0
+        self.committed_bytes = 0
+        self.tiered_bytes = 0
+        self.untiered_bytes = 0
+        self.flushes = 0
+        self.chunks_sent = 0
+        self.batch_hist = MergeableHist()
+        self._running = True
+
+    def start(self) -> None:
+        self.spawn(self._flush_loop())
+
+    def _flush_loop(self):
+        sim = self.sim
+        while self._running:
+            yield sim.timeout(self.FLUSH_INTERVAL)
+            if not self.pending:
+                continue
+            batch, self.pending = self.pending, []
+            nbytes, self.pending_bytes = self.pending_bytes, 0
+            yield sim.timeout(self.JOURNAL_WRITE_S + nbytes / self.JOURNAL_BW)
+            self.flushes += 1
+            self.committed_bytes += nbytes
+            self.untiered_bytes += nbytes
+            self.batch_hist.record(len(batch) * 1e-6)  # count carried in time units
+            for client, writer, seq, ack_bytes in batch:
+                self.send(client, "client", 64, ("ack", writer, seq))
+            while self.untiered_bytes >= self.CHUNK_BYTES:
+                self.untiered_bytes -= self.CHUNK_BYTES
+                self.chunks_sent += 1
+                self.send(self.lts, "lts", self.CHUNK_BYTES, ("chunk", self.chunks_sent))
+
+    def on_message(self, src_host: str, payload: Any, nbytes: int) -> None:
+        kind = payload[0]
+        if kind == "append":
+            _, client, writer, seq = payload
+            self.pending.append((client, writer, seq, nbytes))
+            self.pending_bytes += nbytes
+        elif kind == "chunk_ack":
+            pass  # open-loop tiering: LTS acks are informational
+        else:
+            raise SimulationError(f"server got {kind!r}")
+
+    def collect(self) -> dict:
+        return {
+            "flushes": self.flushes,
+            "committed_bytes": self.committed_bytes,
+            "chunks_sent": self.chunks_sent,
+            "batch_hist": self.batch_hist.as_dict(),
+        }
+
+
+class _LtsHost(Actor):
+    """Long-term storage host: absorbs chunks, acks each one."""
+
+    def __init__(self, host: str) -> None:
+        super().__init__(host, "lts")
+        self.chunks = 0
+        self.bytes = 0
+
+    def on_message(self, src_host: str, payload: Any, nbytes: int) -> None:
+        kind, i = payload
+        if kind != "chunk":
+            raise SimulationError(f"lts got {kind!r}")
+        self.chunks += 1
+        self.bytes += nbytes
+        self.send(src_host, "server", 64, ("chunk_ack", i))
+
+    def collect(self) -> dict:
+        return {"chunks": self.chunks, "bytes": self.bytes}
+
+
+class TieredWrite(ShardScenario):
+    """fig10a-class write path: ``clients`` hosts × ``writers`` streams
+    appending to ``servers`` segment-store hosts that journal-commit and
+    tier to one LTS host.  Client ``i`` targets server ``i % servers``.
+    """
+
+    def __init__(
+        self,
+        clients: int = 4,
+        servers: int = 2,
+        writers: int = 10,
+        events_per_writer: int = 500,
+        event_bytes: int = 10_000,
+    ) -> None:
+        if min(clients, servers, writers, events_per_writer) < 1:
+            raise SimulationError("tiered_write params must all be >= 1")
+        self.clients = clients
+        self.servers = servers
+        self.writers = writers
+        self.events_per_writer = events_per_writer
+        self.event_bytes = event_bytes
+
+    def hosts(self) -> List[str]:
+        names = [f"client-{i:02d}" for i in range(self.clients)]
+        names += [f"server-{i:02d}" for i in range(self.servers)]
+        names.append("lts-00")
+        return names
+
+    def host_weight(self, host: str) -> float:
+        # Servers aggregate every append of their clients plus tiering;
+        # weight them by expected fan-in so the partitioner spreads them.
+        if host.startswith("server-"):
+            return float(max(2, self.clients // self.servers) * self.writers)
+        if host.startswith("client-"):
+            return float(self.writers)
+        return 1.0
+
+    def build_host(self, env: ShardEnv, host: str) -> None:
+        if host.startswith("client-"):
+            idx = int(host.split("-")[1])
+            server = f"server-{idx % self.servers:02d}"
+            env.add_actor(
+                _WriteClient(
+                    host,
+                    server,
+                    writers=self.writers,
+                    events_per_writer=self.events_per_writer,
+                    event_bytes=self.event_bytes,
+                )
+            )
+        elif host.startswith("server-"):
+            env.add_actor(_TierServer(host, "lts-00"))
+        elif host == "lts-00":
+            env.add_actor(_LtsHost(host))
+        else:
+            raise SimulationError(f"unknown host {host!r}")
+
+    def until(self) -> float:
+        # Ack-paced depth-1 writers are bounded by flush cadence: each
+        # event waits at most one flush interval + journal write + net.
+        per_event = _TierServer.FLUSH_INTERVAL * 2.5
+        return self.events_per_writer * per_event + 1.0
+
+    def summarize(self, per_host: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+        total_events = 0
+        lat = MergeableHist()
+        done_at = 0.0
+        for i in range(self.clients):
+            rec = per_host[f"client-{i:02d}"]["client"]
+            total_events += rec["events_acked"]
+            done_at = max(done_at, rec["done_at"])
+            lat.merge(MergeableHist.from_dict(rec["lat_hist"]))
+        flushes = 0
+        committed = 0
+        chunks = 0
+        for i in range(self.servers):
+            rec = per_host[f"server-{i:02d}"]["server"]
+            flushes += rec["flushes"]
+            committed += rec["committed_bytes"]
+            chunks += rec["chunks_sent"]
+        expected = self.clients * self.writers * self.events_per_writer
+        if total_events != expected:
+            raise SimulationError(
+                f"tiered_write incomplete: {total_events} != {expected}"
+            )
+        lts = per_host["lts-00"]["lts"]
+        return {
+            "events_acked": total_events,
+            "append_p50_ms": lat.quantile(0.50) * 1e3,
+            "append_p99_ms": lat.quantile(0.99) * 1e3,
+            "append_mean_ms": lat.mean * 1e3,
+            "journal_flushes": flushes,
+            "committed_mb": committed / 1e6,
+            "chunks_tiered": chunks,
+            "lts_mb": lts["bytes"] / 1e6,
+            "throughput_mb_s": (committed / 1e6) / done_at if done_at > 0 else 0.0,
+            "finished_at_s": done_at,
+        }
+
+
+SHARD_SCENARIOS: Dict[str, Any] = {
+    "pingpong": PingPong,
+    "tiered_write": TieredWrite,
+}
+
+
+def build_scenario(spec: ScenarioSpec) -> ShardScenario:
+    cls = SHARD_SCENARIOS.get(spec.name)
+    if cls is None:
+        raise SimulationError(
+            f"unknown shard scenario {spec.name!r} (have: {sorted(SHARD_SCENARIOS)})"
+        )
+    return cls(**spec.kwargs())

@@ -1,0 +1,202 @@
+"""Conservative window synchronization for sharded runs.
+
+The planner is the pure core of the synchronizer: given each shard's
+announced next-event time and the coordinator-held in-flight messages,
+it computes every shard's *grant horizon* in two steps:
+
+1. the earliest instant shard j could possibly **send** anything,
+   accounting for transitive causality (a quiet shard can be woken by
+   a message and reply immediately)::
+
+       E_j = min( N_eff_j,  min over m != j of ( E_m + L[m][j] ) )
+
+   solved to fixpoint Bellman-Ford style — it converges because every
+   relaxation hop adds a strictly positive lookahead;
+
+2. the grant::
+
+       H_i = min over j != i of ( E_j + L[j][i] )          (capped at T_end)
+
+where ``N_eff_j`` is shard j's effective earliest activity — the min of
+its announced next local event and the earliest delivery instant of any
+message still in flight towards j — and ``L[j][i]`` is the link
+lookahead, the minimum possible network delay from any host of shard j
+to any host of shard i (``Network.lookahead``; for the uniform
+``NetworkSpec`` this is ``per_message_overhead + rtt/2``).
+
+The naive ``H_i = min(N_eff_j + L)`` (without the fixpoint) is
+**unsafe**: with shards {i at 10, j idle, m idle}, j's horizon would be
+10+L but i's would be T_end; i runs far ahead, its messages wake j at
+10+L', and j's replies land in i's past.  The fixpoint caps i at
+``E_j + L = 10 + 2L`` — exactly early enough to receive the reply.
+
+Safety argument (the "never an event in its past" invariant):
+
+* shard j only executes events at times >= N_eff_j >= E_j this round;
+* every message j emits is priced by ``Network.send_delay``, which is
+  >= lookahead by construction (payload bytes, NIC backlog and
+  fault-injected extras only *add* delay — property-tested in
+  tests/test_shard_lookahead.py), so its delivery instant is
+  >= N_eff_j + L[j][i] >= E_j + L[j][i] >= H_i;
+* shard i's clock never exceeds H_i before the next exchange, so every
+  message reaches i's inbox at or before its delivery timestamp.
+
+Progress: the shard g holding the globally earliest activity has
+E_g = N_eff_g, and every other E is >= E_g, so
+H_g >= E_g + min lookahead > N_eff_g — each round retires at least one
+event and the simulation terminates at ``t_end``.  Horizons are also
+monotone round over round (each round lifts every N_eff to at least
+min(E) + L, and every H is at most min(E) + 2L), which
+:meth:`GrantPlanner.horizons` asserts.
+
+A round with no messages for a shard is exactly a **null message** in
+the Chandy–Misra–Bryant sense: the grant carries only the clock bound.
+The planner counts them (``BENCH_shard.json`` sync-overhead breakdown).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+
+__all__ = ["GrantPlanner", "lookahead_matrix"]
+
+
+def lookahead_matrix(
+    owner_of: Mapping[str, int], spec, nshards: int
+) -> List[List[float]]:
+    """``L[j][i]`` = min network lookahead from shard j's hosts to shard i's.
+
+    Derived from the :class:`~repro.sim.network.NetworkSpec` exactly as
+    ``Network.lookahead`` prices links: distinct hosts pay the 0-byte
+    serialization floor plus half an RTT.  Hosts on one shard never pay
+    a cross-shard hop, so the diagonal is unused (set to ``inf``).
+    """
+    cross = spec.per_message_overhead + spec.rtt * 0.5
+    if cross <= 0.0:
+        raise SimulationError(
+            "conservative sync needs strictly positive cross-host lookahead; "
+            f"got {cross} from {spec!r}"
+        )
+    matrix = [[math.inf] * nshards for _ in range(nshards)]
+    shards_present = set(owner_of.values())
+    for j in shards_present:
+        for i in shards_present:
+            if i != j:
+                matrix[j][i] = cross
+    return matrix
+
+
+class GrantPlanner:
+    """Pure grant computation + sync-overhead accounting for one run."""
+
+    def __init__(self, nshards: int, lookahead: List[List[float]], t_end: float) -> None:
+        if nshards < 2:
+            raise SimulationError("GrantPlanner needs >= 2 shards")
+        self.nshards = nshards
+        self.lookahead = lookahead
+        self.t_end = t_end
+        #: earliest in-flight delivery per destination shard (inf = none)
+        self._pending_min: List[float] = [math.inf] * nshards
+        self._granted: List[float] = [0.0] * nshards
+        # accounting
+        self.rounds = 0
+        self.null_messages = 0
+        self.grants_sent = 0
+        self.window_total_s = 0.0
+        self.window_count = 0
+
+    def note_pending(self, dst_shard: int, earliest_delivery: float) -> None:
+        """Record the earliest delivery instant now in flight to ``dst_shard``."""
+        if earliest_delivery < self._pending_min[dst_shard]:
+            self._pending_min[dst_shard] = earliest_delivery
+
+    def clear_pending(self, dst_shard: int) -> None:
+        """The in-flight messages for ``dst_shard`` were handed over."""
+        self._pending_min[dst_shard] = math.inf
+
+    def effective_next(self, next_times: Sequence[Optional[float]]) -> List[float]:
+        return [
+            min(
+                math.inf if next_times[j] is None else next_times[j],
+                self._pending_min[j],
+            )
+            for j in range(self.nshards)
+        ]
+
+    def earliest_sends(self, next_times: Sequence[Optional[float]]) -> List[float]:
+        """The causality fixpoint E (see module docstring, step 1)."""
+        look = self.lookahead
+        n = self.nshards
+        earliest = self.effective_next(next_times)
+        for _ in range(n - 1):
+            changed = False
+            for j in range(n):
+                for m in range(n):
+                    if m == j:
+                        continue
+                    candidate = earliest[m] + look[m][j]
+                    if candidate < earliest[j]:
+                        earliest[j] = candidate
+                        changed = True
+            if not changed:
+                break
+        return earliest
+
+    def horizons(self, next_times: Sequence[Optional[float]]) -> List[float]:
+        """One round of grant horizons; updates the accounting counters."""
+        earliest = self.earliest_sends(next_times)
+        look = self.lookahead
+        horizons = []
+        for i in range(self.nshards):
+            bound = self.t_end
+            for j in range(self.nshards):
+                if j == i:
+                    continue
+                candidate = earliest[j] + look[j][i]
+                if candidate < bound:
+                    bound = candidate
+            prev = self._granted[i]
+            if bound < prev:
+                # A neighbour's in-flight message below an earlier grant
+                # would mean an event in shard i's past — the invariant
+                # the whole design exists to uphold.
+                raise SimulationError(
+                    f"grant horizon regressed for shard {i}: {bound} < {prev}"
+                )
+            self.window_total_s += bound - prev
+            self.window_count += 1
+            self._granted[i] = bound
+            horizons.append(bound)
+        self.rounds += 1
+        return horizons
+
+    def record_grant(self, batch_size: int) -> None:
+        self.grants_sent += 1
+        if batch_size == 0:
+            self.null_messages += 1
+
+    def finished(self, next_times: Sequence[Optional[float]]) -> bool:
+        """True when no shard has activity (local or in flight) below t_end."""
+        return all(t >= self.t_end for t in self.effective_next(next_times))
+
+    def stats(self) -> Dict[str, float]:
+        cross = min(
+            (v for row in self.lookahead for v in row if v != math.inf),
+            default=math.inf,
+        )
+        avg_window = (
+            self.window_total_s / self.window_count if self.window_count else 0.0
+        )
+        return {
+            "rounds": self.rounds,
+            "grants_sent": self.grants_sent,
+            "null_messages": self.null_messages,
+            "lookahead_s": cross,
+            "avg_window_s": avg_window,
+            # >> 1.0 means windows batch many lookahead intervals (good);
+            # ~1.0 means lockstep null-message chatter dominates.
+            "lookahead_utilization": (avg_window / cross) if cross > 0 else 0.0,
+        }

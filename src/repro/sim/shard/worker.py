@@ -1,0 +1,97 @@
+"""Shard worker process: one Simulator, one host partition, one pipe.
+
+The worker rebuilds its slice of the scenario from the picklable
+:class:`~repro.sim.shard.scenarios.ScenarioSpec`, then serves grant
+rounds until the coordinator says finish:
+
+    -> ("ready",  shard_id, next_time, outbound)
+    <- ("grant",  horizon, batch)        # batch sorted by (when, src, seq)
+    -> ("done",   shard_id, next_time, outbound)
+    <- ("finish",)
+    -> ("result", shard_id, per_host, stats)
+
+``outbound`` maps destination shard id to the messages generated since
+the previous exchange.  The worker never blocks on anything but its
+pipe, and the only wall-clock it spends outside :func:`Simulator.run_horizon`
+is pickling — both are measured and reported in ``stats``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, Mapping
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.shard.engine import ShardEnv
+from repro.sim.shard.scenarios import ScenarioSpec, build_scenario
+
+__all__ = ["worker_main"]
+
+
+def _build_env(
+    spec: ScenarioSpec, shard_id: int, owner_of: Mapping[str, int]
+) -> ShardEnv:
+    scenario = build_scenario(spec)
+    sim = Simulator()
+    local_hosts = sorted(h for h, s in owner_of.items() if s == shard_id)
+    if not local_hosts:
+        raise SimulationError(f"shard {shard_id} owns no hosts")
+    env = ShardEnv(
+        sim,
+        scenario.network_spec(),
+        local_hosts,
+        owner_of=dict(owner_of),
+        shard_id=shard_id,
+    )
+    for host in local_hosts:
+        scenario.build_host(env, host)
+    return env
+
+
+def worker_main(
+    conn, spec: ScenarioSpec, shard_id: int, owner_of: Dict[str, int]
+) -> None:
+    """Entry point of a shard process (also callable in-process by tests)."""
+    try:
+        env = _build_env(spec, shard_id, owner_of)
+        sim = env.sim
+        t0 = perf_counter()
+        env.start_actors()
+        compute_wall = perf_counter() - t0
+        conn.send(("ready", shard_id, sim.next_event_time(), env.take_outbound()))
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "grant":
+                _, horizon, batch = msg
+                t0 = perf_counter()
+                if batch:
+                    env.inject(batch)
+                next_time = sim.run_horizon(horizon)
+                compute_wall += perf_counter() - t0
+                conn.send(("done", shard_id, next_time, env.take_outbound()))
+            elif kind == "finish":
+                stats = {
+                    "shard": shard_id,
+                    "hosts": sorted(env.local_hosts),
+                    "kernel_events": sim.stats.events_executed,
+                    "microtasks": sim.stats.microtasks_executed,
+                    "messages_sent": env.messages_sent,
+                    "remote_messages": env.remote_messages,
+                    "deliveries": env.deliveries,
+                    "compute_wall_s": compute_wall,
+                    "sim_time_s": sim.now,
+                }
+                conn.send(("result", shard_id, env.collect_hosts(), stats))
+                return
+            else:
+                raise SimulationError(f"worker {shard_id}: unknown message {kind!r}")
+    except BaseException as err:  # noqa: BLE001 - ship the failure to the coordinator
+        try:
+            conn.send(("error", shard_id, f"{type(err).__name__}: {err}"))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+    finally:
+        conn.close()

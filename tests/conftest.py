@@ -29,6 +29,7 @@ DOMAIN_MARKERS = (
     "gate",
     "geo",
     "read",
+    "shard",
 )
 
 _deselected: List[object] = []

@@ -1,0 +1,137 @@
+"""Property: the conservative lookahead never over-promises.
+
+The entire safety argument of ``repro.sim.shard`` (DESIGN.md §14) rests
+on one network invariant: for every message, the delivery delay priced
+by ``Network.send_delay`` is at least ``Network.lookahead(src, dst)``
+— and for distinct hosts that floor is at least half the nominal RTT
+(``rtt_between / 2``).  Payload bytes, NIC backlog and fault-injected
+``net_delay`` / ``net_drop`` extras may only *add* delay.
+
+Hypothesis drives random topologies (host counts, NIC bandwidth, RTT,
+overheads), random traffic (sources, destinations, sizes, idle gaps)
+and seeded fault plans through the same ``send_delay`` path the shard
+engine prices cross-shard messages with, and asserts the floor plus the
+per-link FIFO clamp (a later message on a link never arrives before an
+earlier one — the inbox ``(time, src, seq)`` order depends on it).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultEngine, FaultPlan
+from repro.sim import Simulator
+from repro.sim.network import Network, NetworkSpec
+
+pytestmark = pytest.mark.shard
+
+specs = st.builds(
+    NetworkSpec,
+    bandwidth=st.floats(1e7, 1e10),
+    rtt=st.floats(1e-6, 1e-2),
+    per_message_overhead=st.floats(1e-7, 1e-4),
+    local_latency=st.floats(1e-7, 1e-4),
+)
+
+#: (src_idx, dst_idx, nbytes, idle gap before the send)
+traffic = st.lists(
+    st.tuples(
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.integers(0, 1_000_000),
+        st.floats(0.0, 1e-3),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+fault_plans = st.builds(
+    lambda seed, rules: _plan(seed, rules),
+    seed=st.integers(0, 2**32 - 1),
+    rules=st.lists(
+        st.tuples(
+            st.sampled_from(["net_delay", "net_drop"]),
+            st.sampled_from(["*", "h0->*", "*->h1", "h2->h3"]),
+            st.floats(0.0, 1.0),   # probability
+            st.floats(0.0, 1e-2),  # extra delay
+        ),
+        max_size=4,
+    ),
+)
+
+
+def _plan(seed, rules) -> FaultPlan:
+    plan = FaultPlan(seed=seed)
+    for action, target, probability, delay in rules:
+        plan.fault(
+            action, target, probability=probability, delay=delay, repeat=True
+        )
+    return plan
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs, sends=traffic, plan=fault_plans)
+def test_delivery_delay_never_beats_the_lookahead(spec, sends, plan):
+    sim = Simulator()
+    network = Network(sim, spec)
+    engine = FaultEngine(sim, plan)
+    engine.start()
+    network.faults = engine
+    hosts = [f"h{i}" for i in range(6)]
+    last_arrival = {}
+    for src_idx, dst_idx, nbytes, gap in sends:
+        if gap > 0.0:
+            sim.run_horizon(sim.now + gap)
+        src, dst = hosts[src_idx], hosts[dst_idx]
+        delay = network.send_delay(src, dst, nbytes)
+        # the floor the shard synchronizer promises its neighbours
+        assert delay >= network.lookahead(src, dst)
+        assert delay >= network.rtt_between(src, dst) / 2.0
+        # per-link FIFO: a later send never arrives before an earlier
+        # one (modulo float rounding of the absolute arrival — the
+        # inbox tiebreak key (time, src, seq) is what fixes exact order)
+        arrival = sim.now + delay
+        key = (src, dst)
+        if key in last_arrival:
+            assert arrival >= last_arrival[key] or arrival == pytest.approx(
+                last_arrival[key], rel=1e-9
+            )
+        last_arrival[key] = arrival
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs)
+def test_lookahead_is_the_exact_infimum_on_an_idle_link(spec):
+    """A 0-byte message on an idle, fault-free NIC costs exactly the
+    lookahead — the bound is tight, not merely safe (a slack bound
+    would silently shrink every conservative window)."""
+    sim = Simulator()
+    network = Network(sim, spec)
+    assert network.send_delay("a", "b", 0) == network.lookahead("a", "b")
+    assert network.lookahead("a", "b") == pytest.approx(
+        spec.per_message_overhead + spec.rtt / 2.0
+    )
+    # and the nbytes=0 local call prices the local lookahead exactly
+    assert network.send_delay("a", "a", 0) == network.lookahead("a", "a")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spec=specs,
+    nbytes=st.integers(0, 1_000_000),
+    burst=st.integers(1, 8),
+)
+def test_backlog_and_bytes_only_add_delay(spec, nbytes, burst):
+    sim = Simulator()
+    network = Network(sim, spec)
+    floor = network.lookahead("a", "b")
+    previous = 0.0
+    for _ in range(burst):
+        delay = network.send_delay("a", "b", nbytes)
+        assert delay >= floor
+        # each enqueued message extends the NIC backlog, so delays on a
+        # saturated link are non-decreasing
+        assert delay >= previous
+        previous = delay

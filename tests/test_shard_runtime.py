@@ -1,0 +1,404 @@
+"""Sharded-runtime guards: kernel primitives, sync math, identity.
+
+Four layers, cheapest first:
+
+* the two kernel primitives the shard engine leans on
+  (``Simulator.schedule_at`` absolute injection, ``run_horizon`` strict
+  conservative windows);
+* the pure pieces — LPT partitioner, mergeable histograms, the ordered
+  per-host inbox, and the :class:`GrantPlanner` causality fixpoint
+  (including the counterexample that kills the naive grant formula);
+* the committed identity guard: ``shards=N`` reproduces the
+  ``shards=1`` deterministic view exactly, for both registered
+  scenarios, through the real multiprocess coordinator;
+* the refusal ladder: discrete adapters share in-process state, so a
+  ``WorkloadSpec(shards>1)`` request runs single-shard and says so.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import PravegaAdapter, WorkloadSpec, run_workload
+from repro.common.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.network import NetworkSpec
+from repro.sim.shard import (
+    GrantPlanner,
+    MergeableHist,
+    ScenarioSpec,
+    ShardEnv,
+    balance_report,
+    deterministic_view,
+    lookahead_matrix,
+    partition_hosts,
+    run_sharded,
+)
+from repro.sim.shard.engine import Actor
+
+pytestmark = pytest.mark.shard
+
+
+# ----------------------------------------------------------------------
+# kernel primitives
+# ----------------------------------------------------------------------
+def test_schedule_at_rejects_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=1.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_at_now_runs_as_microtask_without_clock_motion():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(0.0, lambda: fired.append(sim.now))
+    sim.run(until=0.0)
+    assert fired == [0.0]
+
+
+def test_schedule_at_absolute_instant_is_exact():
+    # the whole point of the API: no now + (when - now) float round-trip
+    sim = Simulator()
+    when = 0.1 + 0.2  # famously != 0.3
+    seen = []
+    sim.schedule_at(when, lambda: seen.append(sim.now))
+    sim.run(until=1.0)
+    assert seen == [when]
+
+
+def test_run_horizon_is_strictly_exclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("inside"))
+    sim.schedule(2.0, lambda: fired.append("at-horizon"))
+    head = sim.run_horizon(2.0)
+    # the event *at* the horizon must not run — no delivery guarantee
+    # exists there yet — but the clock parks exactly on the bound
+    assert fired == ["inside"]
+    assert head == 2.0
+    assert sim.now == 2.0
+    assert sim.run_horizon(3.0) is None  # drained; clock still advances
+    assert fired == ["inside", "at-horizon"]
+    assert sim.now == 3.0
+
+
+def test_run_horizon_advances_clock_over_empty_windows():
+    sim = Simulator()
+    assert sim.run_horizon(5.0) is None
+    assert sim.now == 5.0
+    assert sim.next_event_time() is None
+
+
+# ----------------------------------------------------------------------
+# partitioner
+# ----------------------------------------------------------------------
+def test_partition_is_deterministic_and_dense():
+    hosts = [f"h{i:02d}" for i in range(10)]
+    a = partition_hosts(hosts, 3)
+    b = partition_hosts(list(hosts), 3)
+    assert a == b
+    assert set(a) == set(hosts)
+    assert set(a.values()) == {0, 1, 2}
+
+
+def test_partition_balances_measured_weights():
+    weights = {"big": 100.0, "a": 30.0, "b": 30.0, "c": 30.0}
+    assignment = partition_hosts(sorted(weights), 2, weights=weights)
+    report = balance_report(assignment, weights)
+    # LPT puts the heavy host alone: loads 100 vs 90
+    assert assignment["big"] not in {assignment["a"], assignment["b"],
+                                     assignment["c"]}
+    assert report["imbalance"] == pytest.approx(100.0 / 95.0)
+
+
+def test_partition_groups_stay_together():
+    hosts = ["c0", "c1", "s0", "s1"]
+    assignment = partition_hosts(hosts, 2, groups=[["c0", "s0"]])
+    assert assignment["c0"] == assignment["s0"]
+
+
+def test_partition_clamps_shards_to_host_count():
+    assignment = partition_hosts(["only"], 8)
+    assert assignment == {"only": 0}
+
+
+def test_partition_input_validation():
+    with pytest.raises(SimulationError):
+        partition_hosts(["a"], 0)
+    with pytest.raises(SimulationError):
+        partition_hosts([], 2)
+    with pytest.raises(SimulationError):
+        partition_hosts(["a", "a"], 2)
+    with pytest.raises(SimulationError):
+        partition_hosts(["a"], 1, weights={"a": -1.0})
+
+
+# ----------------------------------------------------------------------
+# mergeable histograms
+# ----------------------------------------------------------------------
+def test_hist_merge_equals_single_stream():
+    samples = [1e-5 * (i + 1) for i in range(200)]
+    whole = MergeableHist()
+    left, right = MergeableHist(), MergeableHist()
+    for i, s in enumerate(samples):
+        whole.record(s)
+        (left if i % 2 else right).record(s)
+    left.merge(right)
+    merged, single = left.as_dict(), whole.as_dict()
+    # bins and counts are integers — exactly equal; the running float
+    # total is summation-order sensitive at the last ulp (irrelevant to
+    # the identity guard: a host's samples never split across shards)
+    assert merged["bins"] == single["bins"]
+    assert merged["count"] == single["count"]
+    assert merged["total"] == pytest.approx(single["total"])
+    assert left.quantile(0.5) == whole.quantile(0.5)
+    assert left.mean == pytest.approx(whole.mean)
+
+
+def test_hist_merge_is_order_independent():
+    a, b = MergeableHist(), MergeableHist()
+    for s in (1e-4, 2e-4, 5e-3):
+        a.record(s)
+    for s in (3e-4, 9e-2):
+        b.record(s)
+    ab = MergeableHist.from_dict(a.as_dict())
+    ab.merge(b)
+    ba = MergeableHist.from_dict(b.as_dict())
+    ba.merge(a)
+    assert ab.as_dict() == ba.as_dict()
+
+
+def test_hist_rejects_negative_samples():
+    with pytest.raises(SimulationError):
+        MergeableHist().record(-1e-9)
+
+
+# ----------------------------------------------------------------------
+# ordered inbox
+# ----------------------------------------------------------------------
+class _Recorder(Actor):
+    def __init__(self, host: str, name: str) -> None:
+        super().__init__(host, name)
+        self.seen = []
+
+    def on_message(self, src_host, payload, nbytes):
+        self.seen.append((self.sim.now, src_host, payload))
+
+
+def test_inbox_orders_equal_time_deliveries_by_src_then_seq():
+    sim = Simulator()
+    env = ShardEnv(sim, NetworkSpec(), ["rx"])
+    rx = env.add_actor(_Recorder("rx", "rx"))
+    when = 0.25
+    # same delivery instant from two sources, inserted out of order —
+    # the heap key (time, src, seq) must decide, not insertion order
+    env.inject([
+        (when, "src-b", 0, "rx", "rx", 10, "b0"),
+        (when, "src-a", 1, "rx", "rx", 10, "a1"),
+        (when, "src-a", 0, "rx", "rx", 10, "a0"),
+    ])
+    sim.run(until=1.0)
+    assert [p for (_, _, p) in rx.seen] == ["a0", "a1", "b0"]
+    assert all(t == when for (t, _, _) in rx.seen)
+
+
+def test_inbox_refuses_delivery_in_the_past():
+    sim = Simulator()
+    env = ShardEnv(sim, NetworkSpec(), ["rx"])
+    env.add_actor(_Recorder("rx", "rx"))
+    sim.run_horizon(1.0)
+    with pytest.raises(SimulationError):
+        env.inject([(0.5, "src", 0, "rx", "rx", 10, None)])
+
+
+def test_send_prices_identically_local_and_remote():
+    """One message must cost the same simulated time on either path."""
+    spec = NetworkSpec()
+    local = ShardEnv(Simulator(), spec, ["a", "b"])
+    local.add_actor(_Recorder("b", "rx"))
+    local.send("a", "b", "rx", 1024)
+    split = ShardEnv(
+        Simulator(), spec, ["a"], owner_of={"a": 0, "b": 1}, shard_id=0
+    )
+    split.send("a", "b", "rx", 1024)
+    outbound = split.take_outbound()
+    assert list(outbound) == [1]
+    (when, src, seq, dst, dst_actor, nbytes, _payload) = outbound[1][0]
+    assert (src, seq, dst, dst_actor, nbytes) == ("a", 0, "b", "rx", 1024)
+    # identical absolute delivery instant as the local insertion computed
+    assert when == local._inboxes["b"]._heap[0][0]
+    assert split.remote_messages == 1
+
+
+# ----------------------------------------------------------------------
+# grant planner: the causality fixpoint
+# ----------------------------------------------------------------------
+def _uniform_lookahead(n: int, la: float):
+    return [
+        [math.inf if i == j else la for i in range(n)] for j in range(n)
+    ]
+
+
+def test_fixpoint_caps_horizon_of_idle_chains():
+    """The counterexample that kills the naive grant formula.
+
+    Shard 0 has an event at t=10; shards 1 and 2 are idle.  Naive
+    ``H_i = min(N_j + L)`` would grant shard 1 a horizon of
+    ``min(10 + 1, inf + 1) = 11`` but shard 2 the same 11 *only via
+    shard 0* — and grant an idle pair unbounded horizons.  The fixpoint
+    says: shard 1 may be woken at 11 and reply, so nobody may outrun
+    ``E_1 + L = 12``.
+    """
+    planner = GrantPlanner(3, _uniform_lookahead(3, 1.0), t_end=100.0)
+    horizons = planner.horizons([10.0, None, None])
+    # E = [10, 11, 11]
+    assert horizons == [12.0, 11.0, 11.0]
+    assert all(h < 100.0 for h in horizons)  # never t_end while 0 is live
+
+
+def test_fixpoint_counts_in_flight_messages():
+    planner = GrantPlanner(2, _uniform_lookahead(2, 1.0), t_end=100.0)
+    planner.note_pending(1, 5.0)  # a message already flying toward shard 1
+    horizons = planner.horizons([50.0, None])
+    # shard 1's effective next activity is the delivery at 5, so shard 0
+    # may not outrun 5 + L even though shard 1 announced nothing
+    assert horizons[0] == 6.0
+    planner.clear_pending(1)
+    assert planner.effective_next([50.0, None]) == [50.0, math.inf]
+
+
+def test_horizons_are_monotone_and_regression_raises():
+    planner = GrantPlanner(2, _uniform_lookahead(2, 1.0), t_end=100.0)
+    first = planner.horizons([10.0, 10.0])
+    second = planner.horizons([11.0, 12.0])
+    assert all(b >= a for a, b in zip(first, second))
+    # an in-flight delivery below an already-issued grant is exactly the
+    # invariant violation the planner must refuse to paper over
+    planner.note_pending(0, 1.0)
+    with pytest.raises(SimulationError):
+        planner.horizons([50.0, 50.0])
+
+
+def test_grants_cap_at_t_end_and_finished():
+    planner = GrantPlanner(2, _uniform_lookahead(2, 1.0), t_end=20.0)
+    assert planner.horizons([None, None]) == [20.0, 20.0]
+    assert planner.finished([None, None])
+    assert planner.finished([25.0, None])
+    assert not planner.finished([19.0, None])
+
+
+def test_null_message_accounting_and_stats_shape():
+    planner = GrantPlanner(2, _uniform_lookahead(2, 0.001), t_end=1.0)
+    planner.horizons([0.5, 0.5])
+    planner.record_grant(0)
+    planner.record_grant(3)
+    stats = planner.stats()
+    assert stats["rounds"] == 1
+    assert stats["grants_sent"] == 2
+    assert stats["null_messages"] == 1
+    assert stats["lookahead_s"] == 0.001
+    assert stats["avg_window_s"] > 0
+    assert stats["lookahead_utilization"] == pytest.approx(
+        stats["avg_window_s"] / 0.001
+    )
+
+
+def test_planner_rejects_degenerate_configs():
+    with pytest.raises(SimulationError):
+        GrantPlanner(1, _uniform_lookahead(1, 1.0), t_end=1.0)
+    with pytest.raises(SimulationError):
+        lookahead_matrix({"a": 0, "b": 1}, NetworkSpec(rtt=0.0,
+                                                       per_message_overhead=0.0), 2)
+
+
+def test_lookahead_matrix_matches_network_pricing():
+    spec = NetworkSpec()
+    matrix = lookahead_matrix({"a": 0, "b": 1}, spec, 2)
+    expected = spec.per_message_overhead + spec.rtt * 0.5
+    assert matrix[0][1] == matrix[1][0] == expected
+    assert matrix[0][0] == matrix[1][1] == math.inf
+
+
+# ----------------------------------------------------------------------
+# the committed identity guard: shards=N == shards=1
+# ----------------------------------------------------------------------
+def _views(spec: ScenarioSpec, shard_counts):
+    views = {}
+    for shards in shard_counts:
+        report = run_sharded(spec, shards=shards)
+        views[shards] = deterministic_view(report)
+        if shards > 1:
+            assert report["sync"]["rounds"] > 0
+            assert report["sync"]["lookahead_s"] > 0
+    return views
+
+
+def test_pingpong_identical_across_shard_counts():
+    spec = ScenarioSpec.make("pingpong", pairs=2, rounds=60, nbytes=512)
+    views = _views(spec, [1, 2, 3])
+    assert views[2] == views[1]
+    assert views[3] == views[1]
+    assert views[1]["metrics"]["rounds_completed"] == 2 * 60
+
+
+def test_tiered_write_identical_across_shard_counts():
+    spec = ScenarioSpec.make(
+        "tiered_write", clients=2, servers=2, writers=4,
+        events_per_writer=40, event_bytes=10_000,
+    )
+    views = _views(spec, [1, 2])
+    assert views[2] == views[1]
+    metrics = views[1]["metrics"]
+    assert metrics["events_acked"] == 2 * 4 * 40
+    # per-host attribution is part of the deterministic view
+    assert all("_events" in rec for rec in views[1]["per_host"].values())
+
+
+def test_explicit_shard_map_is_validated():
+    spec = ScenarioSpec.make("pingpong", pairs=2, rounds=5, nbytes=512)
+    with pytest.raises(SimulationError):
+        run_sharded(spec, shards=2, shard_map={"ping-00": 0})
+    hosts = [f"ping-{i:02d}" for i in range(2)] + [
+        f"pong-{i:02d}" for i in range(2)
+    ]
+    with pytest.raises(SimulationError):
+        run_sharded(
+            spec, shards=2, shard_map={h: 1 + (i % 2) for i, h in
+                                       enumerate(hosts)}
+        )
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(SimulationError):
+        run_sharded(ScenarioSpec.make("no_such_scenario"))
+
+
+# ----------------------------------------------------------------------
+# refusal ladder: discrete adapters cannot shard
+# ----------------------------------------------------------------------
+def _tiny_workload(**kw):
+    sim = Simulator()
+    adapter = PravegaAdapter(sim)
+    spec = WorkloadSpec(target_rate=500.0, duration=1.0, warmup=0.2, **kw)
+    return run_workload(sim, adapter, spec)
+
+
+def test_workload_shards_request_records_refusal():
+    result = _tiny_workload(shards=4)
+    assert "shard.refusal" in result.extra
+    assert "single-shard" in result.extra["shard.refusal"]
+
+
+def test_workload_default_does_not_mention_sharding():
+    result = _tiny_workload()
+    assert "shard.refusal" not in result.extra
+
+
+def test_repro_shards_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    result = _tiny_workload()
+    assert "shard.refusal" in result.extra

@@ -69,8 +69,27 @@ def test_suite_report_shape():
     assert report["cpu_count"] >= 1
     assert report["suite_wall_s"] > 0
     assert report["serial_wall_estimate_s"] > 0
+    # capacity-planning fields: the per-scenario wall sum and the
+    # critical-path scenario a jobs-run can never beat
+    assert report["total_wall_s"] == report["serial_wall_estimate_s"]
+    longest = report["longest_scenario"]
+    assert longest["name"] == "smoke_pravega"
+    assert 0 < longest["wall_s"] <= report["total_wall_s"]
     assert len(report["scenarios"]) == 1
     json.dumps(report)
+
+
+def test_longest_scenario_tracks_the_critical_path():
+    report = run_suite(SMOKE[:3], jobs=1, progress=False)
+    walls = {r["name"]: r["wall_s"] for r in report["scenarios"]}
+    longest = report["longest_scenario"]
+    assert longest["wall_s"] == max(walls.values())
+    assert walls[longest["name"]] == longest["wall_s"]
+    assert report["total_wall_s"] == pytest.approx(sum(walls.values()))
+
+
+def test_shard_smoke_is_registered():
+    assert "smoke_shard" in SMOKE
 
 
 def test_unknown_scenario_is_rejected():
